@@ -1,0 +1,75 @@
+// Command herabench regenerates the paper's evaluation figures
+// (Figures 4(a), 4(b), 5, 6, 7) and the DESIGN.md ablations (A1-A4) as
+// text tables.
+//
+// Examples:
+//
+//	herabench                 # all figures, quick sizes
+//	herabench -full           # all figures, paper-shaped sizes
+//	herabench -fig 4a         # just Figure 4(a)
+//	herabench -fig a3 -v      # ablation A3 with progress logging
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"herajvm/internal/experiments"
+)
+
+// table is any experiment result that renders itself.
+type table interface{ Table() string }
+
+func main() {
+	var (
+		fig  = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | all")
+		full = flag.Bool("full", false, "paper-shaped workload sizes (slower)")
+		verb = flag.Bool("v", false, "log per-run progress to stderr")
+	)
+	flag.Parse()
+
+	opt := experiments.Quick()
+	if *full {
+		opt = experiments.Full()
+	}
+	if *verb {
+		opt.Progress = os.Stderr
+	}
+
+	type experiment struct {
+		id  string
+		run func(experiments.Options) (table, error)
+	}
+	all := []experiment{
+		{"4a", func(o experiments.Options) (table, error) { return experiments.RunFig4a(o) }},
+		{"4b", func(o experiments.Options) (table, error) { return experiments.RunFig4b(o) }},
+		{"5", func(o experiments.Options) (table, error) { return experiments.RunFig5(o) }},
+		{"6", func(o experiments.Options) (table, error) { return experiments.RunFig6(o) }},
+		{"7", func(o experiments.Options) (table, error) { return experiments.RunFig7(o) }},
+		{"a1", func(o experiments.Options) (table, error) { return experiments.RunA1(o) }},
+		{"a2", func(o experiments.Options) (table, error) { return experiments.RunA2(o) }},
+		{"a3", func(o experiments.Options) (table, error) { return experiments.RunA3(o) }},
+		{"a4", func(o experiments.Options) (table, error) { return experiments.RunA4(o) }},
+	}
+
+	want := strings.ToLower(*fig)
+	ran := 0
+	for _, e := range all {
+		if want != "all" && want != e.id {
+			continue
+		}
+		t, err := e.run(opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Table())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,105 @@
+// Command herajvm runs one of the paper's workloads on a configured
+// simulated Cell machine and prints the run's statistics: how the
+// runtime placed threads, what the software caches did, and where the
+// cycles went.
+//
+// Examples:
+//
+//	herajvm -workload mandelbrot -spes 6
+//	herajvm -workload compress -spes 1 -scale 2
+//	herajvm -workload mpegaudio -spes 0          # PPE only
+//	herajvm -workload compress -policy monitor   # runtime-monitoring placement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hera "herajvm"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "mandelbrot", "compress | mpegaudio | mandelbrot")
+		spes     = flag.Int("spes", 6, "number of SPE cores (0 = run everything on the PPE)")
+		threads  = flag.Int("threads", 0, "worker threads (default: one per core)")
+		scale    = flag.Int("scale", 0, "workload scale (default: workload-specific)")
+		policy   = flag.String("policy", "annotation", "annotation | monitor | ppe | spe")
+		dataKB   = flag.Int("datacache", 104, "SPE data cache size in KB")
+		codeKB   = flag.Int("codecache", 88, "SPE code cache size in KB")
+		report   = flag.Bool("report", true, "print the machine report")
+	)
+	flag.Parse()
+
+	spec, err := hera.WorkloadByName(*workload)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *scale == 0 {
+		*scale = spec.DefaultScale
+	}
+	if *threads == 0 {
+		*threads = *spes
+		if *threads == 0 {
+			*threads = 1
+		}
+	}
+
+	cfg := hera.DefaultConfig()
+	cfg.Machine.NumSPEs = *spes
+	cfg.DataCache.Size = uint32(*dataKB) << 10
+	cfg.CodeCache.Size = uint32(*codeKB) << 10
+	switch *policy {
+	case "annotation":
+		cfg.Policy = hera.AnnotationPolicy{}
+	case "monitor":
+		cfg.Policy = hera.DefaultMonitoringPolicy()
+	case "ppe":
+		cfg.Policy = hera.FixedPolicy{Kind: hera.PPE}
+	case "spe":
+		cfg.Policy = hera.FixedPolicy{Kind: hera.SPE}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	prog, err := spec.Build(*threads, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sys, err := hera.NewSystem(cfg, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := sys.Run(spec.MainClass, "main")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	checksum := int32(uint32(res.Value))
+	want := spec.Reference(*threads, *scale)
+	fmt.Printf("%s: %d threads, %d SPEs, scale %d\n", spec.Name, *threads, *spes, *scale)
+	fmt.Printf("completed in %d cycles (%.2f ms at 3.2 GHz)\n", res.Cycles, res.Millis)
+	fmt.Printf("checksum %d (%s)\n", checksum, validity(checksum == want))
+	if res.Output != "" {
+		fmt.Printf("--- output ---\n%s", res.Output)
+	}
+	if *report {
+		fmt.Printf("--- machine report ---\n%s", sys.Report())
+	}
+	if checksum != want {
+		os.Exit(1)
+	}
+}
+
+func validity(ok bool) string {
+	if ok {
+		return "matches reference"
+	}
+	return "MISMATCH vs reference"
+}

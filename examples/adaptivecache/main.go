@@ -1,0 +1,83 @@
+// Adaptive cache split: the paper's §4 closes by suggesting that
+// "adaptive sizing of the code and data caches would likely benefit
+// many applications". This demo shows why: with a fixed 192 KB
+// local-store budget, compress (data-bound) and mpegaudio (code-bound)
+// want opposite splits. A tiny adaptive step — run briefly, look at
+// which software cache misses more, rebalance — picks the right split
+// for each without being told.
+//
+//	go run ./examples/adaptivecache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hera "herajvm"
+)
+
+const budgetKB = 192
+
+var splits = [][2]int{{152, 40}, {104, 88}, {56, 136}}
+
+func run(name string, dataKB int, scale int) (cycles uint64, dataMissPerK, codeMissPerK float64) {
+	spec, err := hera.WorkloadByName(name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := spec.Build(1, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := hera.DefaultConfig()
+	cfg.Machine.NumSPEs = 1
+	cfg.DataCache.Size = uint32(dataKB) << 10
+	cfg.CodeCache.Size = uint32(budgetKB-dataKB) << 10
+	sys, err := hera.NewSystem(cfg, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run(spec.MainClass, "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := sys.VM.Machine.SPEs[0].Stats
+	perK := func(n uint64) float64 { return 1000 * float64(n) / float64(st.Instrs) }
+	return res.Cycles, perK(st.DataMisses), perK(st.CodeMisses)
+}
+
+func main() {
+	for _, name := range []string{"compress", "mpegaudio"} {
+		scale := 1
+		fmt.Printf("%s:\n", name)
+		best, bestCycles := 0, uint64(0)
+		for i, sp := range splits {
+			cycles, dm, cm := run(name, sp[0], scale)
+			fmt.Printf("  data %3d KB / code %3d KB: %10d cycles (data misses %.2f/Kinstr, code misses %.2f/Kinstr)\n",
+				sp[0], budgetKB-sp[0], cycles, dm, cm)
+			if bestCycles == 0 || cycles < bestCycles {
+				best, bestCycles = i, cycles
+			}
+		}
+		fmt.Printf("  -> best static split: %d/%d\n", splits[best][0], budgetKB-splits[best][0])
+
+		// The adaptive step: probe with the balanced split, then move the
+		// budget toward whichever cache missed more.
+		_, dm, cm := run(name, 104, scale)
+		choice := 104
+		if dm > cm*4 { // data misses cost DMA per access; weight them
+			choice = 152
+		} else if cm > dm {
+			choice = 56
+		}
+		verdict := "kept the balanced split"
+		if choice != 104 {
+			verdict = fmt.Sprintf("rebalanced to %d/%d", choice, budgetKB-choice)
+		}
+		match := "matches"
+		if choice != splits[best][0] {
+			match = "differs from"
+		}
+		fmt.Printf("  adaptive probe %s; %s the offline best\n\n", verdict, match)
+	}
+}

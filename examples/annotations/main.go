@@ -1,0 +1,107 @@
+// Annotations: the paper's core idea in one demo. The same
+// floating-point kernel runs twice — once unannotated (it stays on the
+// general-purpose PPE) and once tagged @FloatIntensive (the runtime
+// transparently migrates the thread to an SPE at the call and back at
+// the return). The program text is otherwise identical; only the hint
+// changes where it runs, and the result is bit-identical.
+//
+//	go run ./examples/annotations
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hera "herajvm"
+)
+
+// buildProgram creates Main.main calling a polynomial-evaluation kernel
+// `calls` times; when annotate is set the kernel carries FloatIntensive.
+func buildProgram(annotate bool) *hera.Program {
+	prog := hera.NewProgram()
+	cls := prog.NewClass("Main", nil)
+
+	horner := cls.NewMethod("horner", hera.Static, hera.Double, hera.Double)
+	if annotate {
+		horner.Annotate(hera.FloatIntensive)
+	}
+	{
+		a := horner.Asm()
+		// Evaluate a fixed degree-3000 polynomial at x by Horner's rule.
+		// locals: 0=x 1=acc 2=i
+		loop, done := a.NewLabel(), a.NewLabel()
+		a.ConstD(1.0)
+		a.StoreD(1)
+		a.ConstI(0)
+		a.StoreI(2)
+		a.Bind(loop)
+		a.LoadI(2)
+		a.ConstI(3000)
+		a.IfICmpGE(done)
+		a.LoadD(1)
+		a.LoadD(0)
+		a.MulD()
+		a.ConstD(0.5)
+		a.AddD()
+		a.StoreD(1)
+		a.Inc(2, 1)
+		a.Goto(loop)
+		a.Bind(done)
+		a.LoadD(1)
+		a.Ret()
+		a.MustBuild()
+	}
+
+	m := cls.NewMethod("main", hera.Static, hera.Int)
+	a := m.Asm()
+	loop, done := a.NewLabel(), a.NewLabel()
+	a.ConstD(0)
+	a.StoreD(0)
+	a.ConstI(0)
+	a.StoreI(2)
+	a.Bind(loop)
+	a.LoadI(2)
+	a.ConstI(40)
+	a.IfICmpGE(done)
+	a.LoadD(0)
+	a.ConstD(0.999)
+	a.InvokeStatic(horner)
+	a.AddD()
+	a.StoreD(0)
+	a.Inc(2, 1)
+	a.Goto(loop)
+	a.Bind(done)
+	a.LoadD(0)
+	a.D2I()
+	a.Ret()
+	a.MustBuild()
+	return prog
+}
+
+func run(annotate bool) {
+	sys, err := hera.NewSystem(hera.DefaultConfig(), buildProgram(annotate))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run("Main", "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	where := "unannotated (stays on PPE)"
+	if annotate {
+		where = "@FloatIntensive (migrates to SPE)"
+	}
+	ppe := sys.VM.Machine.PPE.Stats
+	var speInstrs uint64
+	for _, s := range sys.VM.Machine.SPEs {
+		speInstrs += s.Stats.Instrs
+	}
+	fmt.Printf("%-36s result=%d cycles=%-10d ppe-instrs=%-8d spe-instrs=%-8d migrations out=%d\n",
+		where, int32(uint32(res.Value)), res.Cycles, ppe.Instrs, speInstrs, ppe.MigrationsOut)
+}
+
+func main() {
+	fmt.Println("same program, same result - the annotation only moves the work:")
+	run(false)
+	run(true)
+}

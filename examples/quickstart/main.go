@@ -1,0 +1,64 @@
+// Quickstart: build a tiny program with the assembler API, run it on
+// the simulated Cell machine, and print what the machine did.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hera "herajvm"
+)
+
+func main() {
+	prog := hera.NewProgram()
+	system := prog.Lookup("java/lang/System")
+
+	// class Main { static int main() { println("hello"); return gcd(252, 105); } }
+	cls := prog.NewClass("Main", nil)
+	gcd := cls.NewMethod("gcd", hera.Static, hera.Int, hera.Int, hera.Int)
+	{
+		a := gcd.Asm()
+		loop, done := a.NewLabel(), a.NewLabel()
+		a.Bind(loop)
+		a.LoadI(1)
+		a.IfEQ(done)
+		// t = b; b = a % b; a = t
+		a.LoadI(1)
+		a.StoreI(2)
+		a.LoadI(0)
+		a.LoadI(1)
+		a.RemI()
+		a.StoreI(1)
+		a.LoadI(2)
+		a.StoreI(0)
+		a.Goto(loop)
+		a.Bind(done)
+		a.LoadI(0)
+		a.Ret()
+		a.MustBuild()
+	}
+	m := cls.NewMethod("main", hera.Static, hera.Int)
+	a := m.Asm()
+	a.Str("hello from Hera-JVM")
+	a.InvokeStatic(system.MethodByName("println"))
+	a.ConstI(252)
+	a.ConstI(105)
+	a.InvokeStatic(gcd)
+	a.Ret()
+	a.MustBuild()
+
+	sys, err := hera.NewSystem(hera.DefaultConfig(), prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Run("Main", "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("output: %s", res.Output)
+	fmt.Printf("gcd(252, 105) = %d\n", int32(uint32(res.Value)))
+	fmt.Printf("took %d simulated cycles (%.3f ms at 3.2 GHz)\n\n", res.Cycles, res.Millis)
+	fmt.Print(sys.Report())
+}

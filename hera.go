@@ -1,0 +1,167 @@
+// Package hera is the public API of the Hera-JVM reproduction: a Java
+// virtual machine that hides the heterogeneity of a (simulated) Cell
+// processor behind a homogeneous multi-threaded machine, after
+// "Hera-JVM: Abstracting Processor Heterogeneity Behind a Virtual
+// Machine" (McIlroy & Sventek, HotOS 2009).
+//
+// A minimal session:
+//
+//	prog := hera.NewProgram()
+//	cls := prog.NewClass("Main", nil)
+//	m := cls.NewMethod("main", hera.Static, hera.Int)
+//	a := m.Asm()
+//	a.ConstI(21)
+//	a.ConstI(2)
+//	a.MulI()
+//	a.Ret()
+//	a.MustBuild()
+//
+//	sys, _ := hera.NewSystem(hera.DefaultConfig(), prog)
+//	res, _ := sys.Run("Main", "main")
+//	fmt.Println(int32(res.Value), res.Cycles)
+//
+// Threads whose methods carry placement annotations (RunOnSPE,
+// FloatIntensive, ...) migrate transparently between the PPE and the
+// SPEs; unannotated programs run correctly regardless of placement.
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduction of the paper's figures.
+package hera
+
+import (
+	"herajvm/internal/cell"
+	"herajvm/internal/classfile"
+	"herajvm/internal/core"
+	"herajvm/internal/experiments"
+	"herajvm/internal/isa"
+	"herajvm/internal/vm"
+	"herajvm/internal/workloads"
+)
+
+// Program building (see internal/classfile for full documentation).
+type (
+	// Program is a closed world of classes built via the assembler API.
+	Program = classfile.Program
+	// Class is a declared class or interface.
+	Class = classfile.Class
+	// Method is a declared method; Method.Asm() assembles its body.
+	Method = classfile.Method
+	// Field is a declared field.
+	Field = classfile.Field
+	// Asm is the bytecode assembler.
+	Asm = classfile.Asm
+	// TypeKind is a verification-level value type.
+	TypeKind = classfile.TypeKind
+	// MethodFlags modify method declarations.
+	MethodFlags = classfile.MethodFlags
+)
+
+// Type kinds.
+const (
+	Void   = classfile.Void
+	Int    = classfile.Int
+	Long   = classfile.Long
+	Float  = classfile.Float
+	Double = classfile.Double
+	Ref    = classfile.Ref
+)
+
+// Method flags.
+const (
+	Static       = classfile.FlagStatic
+	Native       = classfile.FlagNative
+	Synchronized = classfile.FlagSynchronized
+	Abstract     = classfile.FlagAbstract
+)
+
+// Placement annotations (the paper's behaviour hints, §3).
+const (
+	FloatIntensive  = classfile.AnnFloatIntensive
+	MemoryIntensive = classfile.AnnMemoryIntensive
+	RunOnSPE        = classfile.AnnRunOnSPE
+	RunOnPPE        = classfile.AnnRunOnPPE
+)
+
+// Array element kinds for NewArray/ALoad/AStore.
+const (
+	ElemBool   = classfile.ElemBool
+	ElemByte   = classfile.ElemByte
+	ElemChar   = classfile.ElemChar
+	ElemShort  = classfile.ElemShort
+	ElemInt    = classfile.ElemInt
+	ElemFloat  = classfile.ElemFloat
+	ElemLong   = classfile.ElemLong
+	ElemDouble = classfile.ElemDouble
+	ElemRef    = classfile.ElemRef
+)
+
+// NewProgram creates a program with the built-in Java library subset
+// (Object, String, Runnable, Thread, System, Math) installed.
+func NewProgram() *Program {
+	p := classfile.NewProgram()
+	vm.Stdlib(p)
+	return p
+}
+
+// Runtime configuration and the system itself.
+type (
+	// Config tunes the machine and runtime; see vm.Config.
+	Config = vm.Config
+	// MachineConfig tunes the simulated Cell processor.
+	MachineConfig = cell.Config
+	// System is a booted Hera-JVM instance.
+	System = core.System
+	// Result summarises one run.
+	Result = core.Result
+	// Policy decides thread placement.
+	Policy = vm.Policy
+	// AnnotationPolicy places threads by code annotations (the default).
+	AnnotationPolicy = vm.AnnotationPolicy
+	// FixedPolicy pins all threads to one core kind.
+	FixedPolicy = vm.FixedPolicy
+	// MonitoringPolicy places threads by observed cycle composition
+	// (the paper's proposed runtime monitoring, §6).
+	MonitoringPolicy = vm.MonitoringPolicy
+	// CoreKind selects PPE or SPE.
+	CoreKind = isa.CoreKind
+)
+
+// Core kinds.
+const (
+	PPE = isa.PPE
+	SPE = isa.SPE
+)
+
+// DefaultConfig returns a PS3-like machine: one PPE, six SPEs, 256 KB
+// local stores with a 104 KB data cache and 88 KB code cache per SPE.
+func DefaultConfig() Config { return vm.DefaultConfig() }
+
+// DefaultMonitoringPolicy returns the runtime-monitoring placement
+// policy with calibrated thresholds.
+func DefaultMonitoringPolicy() *MonitoringPolicy { return vm.DefaultMonitoringPolicy() }
+
+// NewSystem boots a Hera-JVM for the program.
+func NewSystem(cfg Config, prog *Program) (*System, error) {
+	return core.NewSystem(cfg, prog)
+}
+
+// Benchmarks and experiments.
+type (
+	// Workload is one of the paper's three benchmarks.
+	Workload = workloads.Spec
+	// ExperimentOptions sizes experiment runs.
+	ExperimentOptions = experiments.Options
+)
+
+// Workloads returns the paper's three benchmarks (compress, mpegaudio,
+// mandelbrot).
+func Workloads() []Workload { return workloads.All() }
+
+// WorkloadByName finds one benchmark by name.
+func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// QuickExperiments returns reduced-size experiment options;
+// FullExperiments the paper-shaped defaults.
+func QuickExperiments() ExperimentOptions { return experiments.Quick() }
+
+// FullExperiments returns the default experiment options.
+func FullExperiments() ExperimentOptions { return experiments.Full() }

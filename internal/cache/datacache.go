@@ -1,0 +1,304 @@
+// Package cache implements the SPE-side software caches that Hera-JVM
+// layers over the 256 KB local store: the data cache for objects and
+// array blocks (§3.2.1 of the paper) and the code cache with its class
+// table-of-contents (TOC) and per-class type information blocks (TIBs)
+// (§3.2.2).
+package cache
+
+import (
+	"fmt"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/isa"
+	"herajvm/internal/mem"
+)
+
+// DataCacheConfig calibrates the software data cache.
+type DataCacheConfig struct {
+	// Size is the local-store region dedicated to cached data. The
+	// paper's Figure 6 sweeps this from 104 KB downwards.
+	Size uint32
+	// ArrayBlock is the block size used when caching array elements:
+	// "a block of up to 1KB of neighbouring elements is also
+	// transferred" (§3.2.1).
+	ArrayBlock uint32
+	// MaxEntries bounds the local-memory-resident lookup hashtable; the
+	// cache flushes when the table fills even if bytes remain.
+	MaxEntries int
+	// ProbeCycles is the cost of hashing an address and probing the
+	// lookup table (both in local store: "3-6 cycles" latency, §3.2.2).
+	ProbeCycles uint32
+	// InsertCycles is the bookkeeping cost of installing a new entry.
+	InsertCycles uint32
+	// AccessCycles is a local-store data access once an entry is cached.
+	AccessCycles uint32
+	// MaxEntryBytes caps a single cached unit; larger objects degrade to
+	// window caching so one huge object cannot monopolise the cache.
+	MaxEntryBytes uint32
+}
+
+// DefaultDataCacheConfig returns the paper's default: 104 KB of data
+// cache with 1 KB array blocks.
+func DefaultDataCacheConfig() DataCacheConfig {
+	return DataCacheConfig{
+		Size:          104 << 10,
+		ArrayBlock:    1 << 10,
+		MaxEntries:    4096,
+		ProbeCycles:   6,
+		InsertCycles:  40, // miss handler: eviction check, allocation, DMA issue
+		AccessCycles:  4,
+		MaxEntryBytes: 8 << 10,
+	}
+}
+
+type dcEntry struct {
+	mainAddr mem.Addr
+	lsAddr   uint32
+	size     uint32
+	dirty    bool
+}
+
+// DataCache is one SPE's software object/array cache. Cached bytes live
+// in the core's real local store; main memory remains the backing truth
+// only after a flush, which is exactly the (lack of) coherence the paper
+// describes and the Java Memory Model hooks rely on.
+type DataCache struct {
+	cfg  DataCacheConfig
+	core *cell.Core
+	base uint32 // region origin within the local store
+	bump uint32
+
+	entries map[mem.Addr]*dcEntry
+	order   []*dcEntry // insertion order, for deterministic write-back
+}
+
+// NewDataCache builds a data cache over core's local store, occupying
+// [base, base+cfg.Size).
+func NewDataCache(cfg DataCacheConfig, core *cell.Core, base uint32) *DataCache {
+	if core.Kind != isa.SPE {
+		panic("cache: data cache requires an SPE core")
+	}
+	if uint64(base)+uint64(cfg.Size) > uint64(len(core.LS)) {
+		panic(fmt.Sprintf("cache: data cache [%#x,%#x) exceeds local store %#x",
+			base, base+cfg.Size, len(core.LS)))
+	}
+	if cfg.ArrayBlock == 0 || cfg.ArrayBlock&(cfg.ArrayBlock-1) != 0 {
+		panic("cache: array block size must be a power of two")
+	}
+	return &DataCache{
+		cfg:     cfg,
+		core:    core,
+		base:    base,
+		entries: make(map[mem.Addr]*dcEntry),
+	}
+}
+
+// Config returns the cache's configuration.
+func (d *DataCache) Config() DataCacheConfig { return d.cfg }
+
+// Entries returns the number of live cache entries (for tests/reports).
+func (d *DataCache) Entries() int { return len(d.entries) }
+
+// UsedBytes returns the bump-allocated bytes.
+func (d *DataCache) UsedBytes() uint32 { return d.bump }
+
+// ensure returns the local-store address of the cached copy of
+// [mainAddr, mainAddr+size), transferring it in on a miss. It advances
+// and returns the core clock.
+func (d *DataCache) ensure(now cell.Clock, mainAddr mem.Addr, size uint32) (uint32, cell.Clock) {
+	d.core.Stats.Charge(isa.ClassLocalMem, uint64(d.cfg.ProbeCycles))
+	now += cell.Clock(d.cfg.ProbeCycles)
+
+	if e, ok := d.entries[mainAddr]; ok {
+		if e.size >= size {
+			d.core.Stats.DataHits++
+			return e.lsAddr, now
+		}
+		// A smaller unit is cached at this address (e.g. a header window
+		// before the whole object was requested): retire it, writing back
+		// dirty bytes so the fresh fill cannot lose them.
+		if e.dirty {
+			done := d.core.MFC.DMA(now, cell.DMAPut, e.mainAddr, e.lsAddr, e.size)
+			d.core.Stats.DataWriteBacks++
+			d.core.Stats.Charge(isa.ClassMainMem, done-now)
+			now = done
+		}
+		delete(d.entries, mainAddr)
+		for i, o := range d.order {
+			if o == e {
+				d.order = append(d.order[:i], d.order[i+1:]...)
+				break
+			}
+		}
+	}
+	d.core.Stats.DataMisses++
+
+	// Allocate space; flush-and-retry when the cache or its table fills:
+	// "a simple bump-pointer scheme ... with the cache simply being
+	// flushed if it is filled" (§3.2.1).
+	if size > d.cfg.Size {
+		panic(fmt.Sprintf("cache: unit of %d bytes exceeds data cache of %d", size, d.cfg.Size))
+	}
+	if d.bump+size > d.cfg.Size || len(d.entries) >= d.cfg.MaxEntries {
+		now = d.flushAll(now, true)
+		d.core.Stats.DataFlushes++
+	}
+	lsAddr := d.base + d.bump
+	d.bump += (size + 15) &^ 15 // quadword-aligned allocation
+
+	d.core.Stats.Charge(isa.ClassLocalMem, uint64(d.cfg.InsertCycles))
+	now += cell.Clock(d.cfg.InsertCycles)
+
+	done := d.core.MFC.DMA(now, cell.DMAGet, mainAddr, lsAddr, size)
+	d.core.Stats.DMATransfers++
+	d.core.Stats.DMABytes += uint64(size)
+	d.core.Stats.DMAWait += done - now
+	d.core.Stats.Charge(isa.ClassMainMem, done-now)
+	now = done
+
+	e := &dcEntry{mainAddr: mainAddr, lsAddr: lsAddr, size: size}
+	d.entries[mainAddr] = e
+	d.order = append(d.order, e)
+	return lsAddr, now
+}
+
+// clip returns the cached unit covering an access of width bytes at
+// offset off within the backing unit [unitAddr, unitAddr+unitSize).
+// Units at most MaxEntryBytes are cached whole (whole-object caching);
+// larger ones are cached as aligned array blocks (up to ArrayBlock
+// bytes), the paper's array strategy.
+func (d *DataCache) clip(unitAddr mem.Addr, unitSize, off, width uint32, block bool) (mem.Addr, uint32, uint32) {
+	if !block && unitSize <= d.cfg.MaxEntryBytes {
+		return unitAddr, unitSize, off
+	}
+	blk := d.cfg.ArrayBlock
+	start := off &^ (blk - 1)
+	end := start + blk
+	if end > unitSize {
+		end = unitSize
+	}
+	// A single element never straddles blocks for power-of-two widths,
+	// but clamp defensively for odd layouts.
+	if off+width > end {
+		end = off + width
+	}
+	return unitAddr + start, end - start, off - start
+}
+
+// ReadObject reads width bytes at byte offset off inside the object
+// whose header starts at objAddr and occupies objSize bytes, caching the
+// whole object on first touch (§3.2.1's getfield behaviour).
+func (d *DataCache) ReadObject(now cell.Clock, objAddr mem.Addr, objSize, off, width uint32) (uint64, cell.Clock) {
+	addr, size, rel := d.clip(objAddr, objSize, off, width, false)
+	ls, now := d.ensure(now, addr, size)
+	d.core.Stats.Charge(isa.ClassLocalMem, uint64(d.cfg.AccessCycles))
+	now += cell.Clock(d.cfg.AccessCycles)
+	return readLS(d.core.LS, ls+rel, width), now
+}
+
+// WriteObject writes width bytes at offset off inside the object,
+// caching it first and marking the entry dirty for write-back.
+func (d *DataCache) WriteObject(now cell.Clock, objAddr mem.Addr, objSize, off, width uint32, val uint64) cell.Clock {
+	addr, size, rel := d.clip(objAddr, objSize, off, width, false)
+	ls, now := d.ensure(now, addr, size)
+	d.core.Stats.Charge(isa.ClassLocalMem, uint64(d.cfg.AccessCycles))
+	now += cell.Clock(d.cfg.AccessCycles)
+	writeLS(d.core.LS, ls+rel, width, val)
+	d.entries[addr].dirty = true
+	return now
+}
+
+// ReadArray reads an element of width bytes at offset off within an
+// array's data section [dataAddr, dataAddr+dataSize), caching the
+// surrounding block of up to ArrayBlock bytes.
+func (d *DataCache) ReadArray(now cell.Clock, dataAddr mem.Addr, dataSize, off, width uint32) (uint64, cell.Clock) {
+	addr, size, rel := d.clip(dataAddr, dataSize, off, width, true)
+	ls, now := d.ensure(now, addr, size)
+	d.core.Stats.Charge(isa.ClassLocalMem, uint64(d.cfg.AccessCycles))
+	now += cell.Clock(d.cfg.AccessCycles)
+	return readLS(d.core.LS, ls+rel, width), now
+}
+
+// WriteArray writes an array element through the cache, marking the
+// block dirty.
+func (d *DataCache) WriteArray(now cell.Clock, dataAddr mem.Addr, dataSize, off, width uint32, val uint64) cell.Clock {
+	addr, size, rel := d.clip(dataAddr, dataSize, off, width, true)
+	ls, now := d.ensure(now, addr, size)
+	d.core.Stats.Charge(isa.ClassLocalMem, uint64(d.cfg.AccessCycles))
+	now += cell.Clock(d.cfg.AccessCycles)
+	writeLS(d.core.LS, ls+rel, width, val)
+	d.entries[addr].dirty = true
+	return now
+}
+
+// flushAll writes back every dirty entry and, when invalidate is set,
+// drops all entries and resets the bump pointer.
+func (d *DataCache) flushAll(now cell.Clock, invalidate bool) cell.Clock {
+	for _, e := range d.order {
+		if !e.dirty {
+			continue
+		}
+		done := d.core.MFC.DMA(now, cell.DMAPut, e.mainAddr, e.lsAddr, e.size)
+		d.core.Stats.DMATransfers++
+		d.core.Stats.DMABytes += uint64(e.size)
+		d.core.Stats.DMAWait += done - now
+		d.core.Stats.Charge(isa.ClassMainMem, done-now)
+		d.core.Stats.DataWriteBacks++
+		now = done
+		e.dirty = false
+	}
+	if invalidate {
+		d.entries = make(map[mem.Addr]*dcEntry)
+		d.order = d.order[:0]
+		d.bump = 0
+	}
+	return now
+}
+
+// Flush writes back all dirty entries but keeps them cached. Hera-JVM
+// performs this before an unlock or volatile write so other cores
+// observe this thread's writes (release semantics, §3.2.1).
+func (d *DataCache) Flush(now cell.Clock) cell.Clock {
+	return d.flushAll(now, false)
+}
+
+// Purge writes back dirty data and invalidates the whole cache.
+// Hera-JVM performs this before a lock acquire or volatile read so this
+// core observes other cores' writes (acquire semantics, §3.2.1). Dirty
+// data is written back first: purging at a nested acquire must not lose
+// this thread's own unsynchronised writes.
+func (d *DataCache) Purge(now cell.Clock) cell.Clock {
+	d.core.Stats.DataPurges++
+	return d.flushAll(now, true)
+}
+
+func readLS(ls []byte, addr, width uint32) uint64 {
+	var v uint64
+	switch width {
+	case 1:
+		v = uint64(ls[addr])
+	case 2:
+		v = uint64(ls[addr]) | uint64(ls[addr+1])<<8
+	case 4:
+		v = uint64(ls[addr]) | uint64(ls[addr+1])<<8 |
+			uint64(ls[addr+2])<<16 | uint64(ls[addr+3])<<24
+	case 8:
+		for i := uint32(0); i < 8; i++ {
+			v |= uint64(ls[addr+i]) << (8 * i)
+		}
+	default:
+		panic(fmt.Sprintf("cache: bad access width %d", width))
+	}
+	return v
+}
+
+func writeLS(ls []byte, addr, width uint32, v uint64) {
+	switch width {
+	case 1, 2, 4, 8:
+		for i := uint32(0); i < width; i++ {
+			ls[addr+i] = byte(v >> (8 * i))
+		}
+	default:
+		panic(fmt.Sprintf("cache: bad access width %d", width))
+	}
+}

@@ -1,0 +1,44 @@
+package cell
+
+// BranchPredictor models the PPE's dynamic branch predictor as a table of
+// 2-bit saturating counters indexed by a hash of the branch site. The SPE
+// has no predictor: its cost table charges a fixed penalty for taken
+// branches instead (branches are statically hinted fall-through by the
+// baseline compiler).
+type BranchPredictor struct {
+	counters []uint8
+
+	Predictions, Mispredicts uint64
+}
+
+// NewBranchPredictor returns a predictor with 2^bits entries.
+func NewBranchPredictor(bits uint) *BranchPredictor {
+	return &BranchPredictor{counters: make([]uint8, 1<<bits)}
+}
+
+// Predict consumes one branch outcome at the given site key and reports
+// whether the predictor got it right, updating its state.
+func (b *BranchPredictor) Predict(site uint32, taken bool) bool {
+	idx := (site ^ site>>7 ^ site>>15) & uint32(len(b.counters)-1)
+	c := b.counters[idx]
+	predictTaken := c >= 2
+	if taken && c < 3 {
+		b.counters[idx] = c + 1
+	} else if !taken && c > 0 {
+		b.counters[idx] = c - 1
+	}
+	b.Predictions++
+	if predictTaken != taken {
+		b.Mispredicts++
+		return false
+	}
+	return true
+}
+
+// Accuracy returns the fraction of correct predictions.
+func (b *BranchPredictor) Accuracy() float64 {
+	if b.Predictions == 0 {
+		return 1
+	}
+	return 1 - float64(b.Mispredicts)/float64(b.Predictions)
+}

@@ -1,0 +1,156 @@
+package cell
+
+import (
+	"fmt"
+
+	"herajvm/internal/isa"
+	"herajvm/internal/mem"
+	"herajvm/internal/profile"
+)
+
+// Config describes a Cell machine instance.
+type Config struct {
+	// MainMemory is the main-memory size in bytes (the PS3 exposes
+	// 256 MB; the default here is 64 MB, plenty for the workloads).
+	MainMemory uint32
+	// NumSPEs is the number of usable SPE cores (6 on a PS3).
+	NumSPEs int
+	// LocalStore is each SPE's local store size (256 KB on real silicon).
+	LocalStore uint32
+	EIB        EIBConfig
+	MFC        MFCConfig
+	PPEMem     PPEMemConfig
+	// BranchPredictorBits sizes the PPE predictor table (2^bits entries).
+	BranchPredictorBits uint
+}
+
+// DefaultConfig returns a PS3-like machine: one PPE, six SPEs, 256 KB
+// local stores, 64 MB main memory.
+func DefaultConfig() Config {
+	return Config{
+		MainMemory:          64 << 20,
+		NumSPEs:             6,
+		LocalStore:          256 << 10,
+		EIB:                 DefaultEIBConfig(),
+		MFC:                 DefaultMFCConfig(),
+		PPEMem:              DefaultPPEMemConfig(),
+		BranchPredictorBits: 12,
+	}
+}
+
+// Core is one simulated processing element. The VM executes Java threads
+// on cores; the core owns the local cycle clock and the per-core hardware
+// (local store + MFC on SPEs, cache hierarchy + branch predictor on the
+// PPE) plus all statistics.
+type Core struct {
+	Kind isa.CoreKind
+	// ID is the core's index: 0 for the PPE, 0..N-1 for SPEs.
+	ID int
+	// Now is the core's local clock in cycles.
+	Now Clock
+
+	// LS is the local store (SPE only).
+	LS []byte
+	// MFC is the memory flow controller (SPE only).
+	MFC *MFC
+
+	// Mem is the hardware cache hierarchy (PPE only).
+	Mem *PPEMem
+	// BP is the branch predictor (PPE only).
+	BP *BranchPredictor
+
+	Stats profile.CoreStats
+}
+
+// String names the core, e.g. "PPE" or "SPE2".
+func (c *Core) String() string {
+	if c.Kind == isa.PPE {
+		return "PPE"
+	}
+	return fmt.Sprintf("SPE%d", c.ID)
+}
+
+// Charge advances the core's clock by n cycles billed to the given
+// operation class.
+func (c *Core) Charge(class isa.OpClass, n uint64) {
+	c.Now += n
+	c.Stats.Charge(class, n)
+}
+
+// ChargeIdle advances the clock without billing a work class (the core is
+// stalled waiting for something external, e.g. another core or GC).
+func (c *Core) ChargeIdle(n uint64) {
+	c.Now += n
+	c.Stats.Idle += n
+}
+
+// AdvanceTo moves the clock forward to at least t, billing the gap as
+// idle time. It never moves the clock backwards.
+func (c *Core) AdvanceTo(t Clock) {
+	if t > c.Now {
+		c.Stats.Idle += t - c.Now
+		c.Now = t
+	}
+}
+
+// Machine is a configured Cell processor: main memory, the bus, one PPE
+// and the SPEs.
+type Machine struct {
+	Cfg  Config
+	Mem  *mem.Main
+	EIB  *EIB
+	PPE  *Core
+	SPEs []*Core
+}
+
+// NewMachine builds a machine from its configuration.
+func NewMachine(cfg Config) (*Machine, error) {
+	if cfg.NumSPEs < 0 {
+		return nil, fmt.Errorf("cell: negative SPE count %d", cfg.NumSPEs)
+	}
+	if cfg.MainMemory < 1<<20 {
+		return nil, fmt.Errorf("cell: main memory %d too small (min 1 MB)", cfg.MainMemory)
+	}
+	if cfg.LocalStore < 16<<10 {
+		return nil, fmt.Errorf("cell: local store %d too small (min 16 KB)", cfg.LocalStore)
+	}
+	m := &Machine{
+		Cfg: cfg,
+		Mem: mem.NewMain(cfg.MainMemory),
+		EIB: NewEIB(cfg.EIB),
+	}
+	m.PPE = &Core{
+		Kind: isa.PPE,
+		Mem:  NewPPEMem(cfg.PPEMem),
+		BP:   NewBranchPredictor(cfg.BranchPredictorBits),
+	}
+	for i := 0; i < cfg.NumSPEs; i++ {
+		ls := make([]byte, cfg.LocalStore)
+		m.SPEs = append(m.SPEs, &Core{
+			Kind: isa.SPE,
+			ID:   i,
+			LS:   ls,
+			MFC:  NewMFC(cfg.MFC, m.EIB, m.Mem, ls),
+		})
+	}
+	return m, nil
+}
+
+// Cores returns all cores, PPE first.
+func (m *Machine) Cores() []*Core {
+	out := make([]*Core, 0, 1+len(m.SPEs))
+	out = append(out, m.PPE)
+	return append(out, m.SPEs...)
+}
+
+// MaxClock returns the largest core clock — the machine's notion of
+// elapsed time once a run completes.
+func (m *Machine) MaxClock() Clock {
+	t := m.PPE.Now
+	for _, s := range m.SPEs {
+		if s.Now > t {
+			t = s.Now
+		}
+	}
+	return t
+}

@@ -1,0 +1,460 @@
+package classfile
+
+import (
+	"fmt"
+	"math"
+)
+
+// Asm builds a method body instruction by instruction. Typical use:
+//
+//	a := method.Asm()
+//	loop := a.NewLabel()
+//	a.ConstI(0)
+//	a.StoreI(1)
+//	a.Bind(loop)
+//	... more instructions ...
+//	a.MustBuild()
+//
+// Build attaches the code to the method and computes MaxLocals; MaxStack
+// is computed later by the verifier during Program.Resolve.
+type Asm struct {
+	m        *Method
+	code     []BC
+	maxLocal int
+	built    bool
+	err      error
+	handlers []handlerSpec
+}
+
+// Asm begins assembling the method's body.
+func (m *Method) Asm() *Asm {
+	if m.IsNative() || m.IsAbstract() {
+		panic(fmt.Sprintf("classfile: %s cannot have a body", m.Sig()))
+	}
+	return &Asm{m: m, maxLocal: m.ArgSlots() - 1}
+}
+
+func (a *Asm) emit(bc BC) *Asm {
+	a.code = append(a.code, bc)
+	return a
+}
+
+func (a *Asm) local(i int) {
+	if i < 0 {
+		a.fail("negative local index %d", i)
+	}
+	if i > a.maxLocal {
+		a.maxLocal = i
+	}
+}
+
+func (a *Asm) fail(format string, args ...any) {
+	if a.err == nil {
+		a.err = fmt.Errorf("asm %s: %s", a.m.Sig(), fmt.Sprintf(format, args...))
+	}
+}
+
+// NewLabel creates an unbound label.
+func (a *Asm) NewLabel() *Label {
+	return &Label{pc: -1, name: fmt.Sprintf("L%d", len(a.code))}
+}
+
+// Bind binds the label to the next instruction.
+func (a *Asm) Bind(l *Label) *Asm {
+	if l.bound {
+		a.fail("label %s bound twice", l.name)
+	}
+	l.pc = len(a.code)
+	l.bound = true
+	return a
+}
+
+// --- constants ---
+
+// ConstI pushes an int constant.
+func (a *Asm) ConstI(v int32) *Asm { return a.emit(BC{Op: BCConstI, A: v}) }
+
+// ConstL pushes a long constant.
+func (a *Asm) ConstL(v int64) *Asm { return a.emit(BC{Op: BCConstL, W: uint64(v)}) }
+
+// ConstF pushes a float constant.
+func (a *Asm) ConstF(v float32) *Asm {
+	return a.emit(BC{Op: BCConstF, W: uint64(math.Float32bits(v))})
+}
+
+// ConstD pushes a double constant.
+func (a *Asm) ConstD(v float64) *Asm {
+	return a.emit(BC{Op: BCConstD, W: math.Float64bits(v)})
+}
+
+// Null pushes the null reference.
+func (a *Asm) Null() *Asm { return a.emit(BC{Op: BCConstNull}) }
+
+// Str pushes an interned string literal.
+func (a *Asm) Str(s string) *Asm { return a.emit(BC{Op: BCConstStr, S: s}) }
+
+// --- locals ---
+
+// LoadI pushes int local i. The other Load/Store variants follow suit.
+func (a *Asm) LoadI(i int) *Asm { a.local(i); return a.emit(BC{Op: BCLoadI, A: int32(i)}) }
+
+// LoadL pushes long local i.
+func (a *Asm) LoadL(i int) *Asm { a.local(i); return a.emit(BC{Op: BCLoadL, A: int32(i)}) }
+
+// LoadF pushes float local i.
+func (a *Asm) LoadF(i int) *Asm { a.local(i); return a.emit(BC{Op: BCLoadF, A: int32(i)}) }
+
+// LoadD pushes double local i.
+func (a *Asm) LoadD(i int) *Asm { a.local(i); return a.emit(BC{Op: BCLoadD, A: int32(i)}) }
+
+// LoadRef pushes reference local i.
+func (a *Asm) LoadRef(i int) *Asm { a.local(i); return a.emit(BC{Op: BCLoadRef, A: int32(i)}) }
+
+// StoreI pops into int local i.
+func (a *Asm) StoreI(i int) *Asm { a.local(i); return a.emit(BC{Op: BCStoreI, A: int32(i)}) }
+
+// StoreL pops into long local i.
+func (a *Asm) StoreL(i int) *Asm { a.local(i); return a.emit(BC{Op: BCStoreL, A: int32(i)}) }
+
+// StoreF pops into float local i.
+func (a *Asm) StoreF(i int) *Asm { a.local(i); return a.emit(BC{Op: BCStoreF, A: int32(i)}) }
+
+// StoreD pops into double local i.
+func (a *Asm) StoreD(i int) *Asm { a.local(i); return a.emit(BC{Op: BCStoreD, A: int32(i)}) }
+
+// StoreRef pops into reference local i.
+func (a *Asm) StoreRef(i int) *Asm { a.local(i); return a.emit(BC{Op: BCStoreRef, A: int32(i)}) }
+
+// Inc adds delta to int local i (iinc).
+func (a *Asm) Inc(i int, delta int32) *Asm {
+	a.local(i)
+	return a.emit(BC{Op: BCInc, A: int32(i), B: delta})
+}
+
+// --- operand stack ---
+
+// Pop discards the top value.
+func (a *Asm) Pop() *Asm { return a.emit(BC{Op: BCPop}) }
+
+// Pop2 discards the top two values.
+func (a *Asm) Pop2() *Asm { return a.emit(BC{Op: BCPop2}) }
+
+// Dup duplicates the top value.
+func (a *Asm) Dup() *Asm { return a.emit(BC{Op: BCDup}) }
+
+// DupX1 duplicates the top value beneath the second.
+func (a *Asm) DupX1() *Asm { return a.emit(BC{Op: BCDupX1}) }
+
+// DupX2 duplicates the top value beneath the third.
+func (a *Asm) DupX2() *Asm { return a.emit(BC{Op: BCDupX2}) }
+
+// Dup2 duplicates the top two values.
+func (a *Asm) Dup2() *Asm { return a.emit(BC{Op: BCDup2}) }
+
+// Swap exchanges the top two values.
+func (a *Asm) Swap() *Asm { return a.emit(BC{Op: BCSwap}) }
+
+// --- arithmetic ---
+
+// AddI pops two ints and pushes their sum; the remaining arithmetic
+// emitters follow the JVM's stack discipline in the same way.
+func (a *Asm) AddI() *Asm  { return a.emit(BC{Op: BCAddI}) }
+func (a *Asm) SubI() *Asm  { return a.emit(BC{Op: BCSubI}) }
+func (a *Asm) MulI() *Asm  { return a.emit(BC{Op: BCMulI}) }
+func (a *Asm) DivI() *Asm  { return a.emit(BC{Op: BCDivI}) }
+func (a *Asm) RemI() *Asm  { return a.emit(BC{Op: BCRemI}) }
+func (a *Asm) NegI() *Asm  { return a.emit(BC{Op: BCNegI}) }
+func (a *Asm) ShlI() *Asm  { return a.emit(BC{Op: BCShlI}) }
+func (a *Asm) ShrI() *Asm  { return a.emit(BC{Op: BCShrI}) }
+func (a *Asm) UShrI() *Asm { return a.emit(BC{Op: BCUShrI}) }
+func (a *Asm) AndI() *Asm  { return a.emit(BC{Op: BCAndI}) }
+func (a *Asm) OrI() *Asm   { return a.emit(BC{Op: BCOrI}) }
+func (a *Asm) XorI() *Asm  { return a.emit(BC{Op: BCXorI}) }
+
+func (a *Asm) AddL() *Asm  { return a.emit(BC{Op: BCAddL}) }
+func (a *Asm) SubL() *Asm  { return a.emit(BC{Op: BCSubL}) }
+func (a *Asm) MulL() *Asm  { return a.emit(BC{Op: BCMulL}) }
+func (a *Asm) DivL() *Asm  { return a.emit(BC{Op: BCDivL}) }
+func (a *Asm) RemL() *Asm  { return a.emit(BC{Op: BCRemL}) }
+func (a *Asm) NegL() *Asm  { return a.emit(BC{Op: BCNegL}) }
+func (a *Asm) ShlL() *Asm  { return a.emit(BC{Op: BCShlL}) }
+func (a *Asm) ShrL() *Asm  { return a.emit(BC{Op: BCShrL}) }
+func (a *Asm) UShrL() *Asm { return a.emit(BC{Op: BCUShrL}) }
+func (a *Asm) AndL() *Asm  { return a.emit(BC{Op: BCAndL}) }
+func (a *Asm) OrL() *Asm   { return a.emit(BC{Op: BCOrL}) }
+func (a *Asm) XorL() *Asm  { return a.emit(BC{Op: BCXorL}) }
+func (a *Asm) CmpL() *Asm  { return a.emit(BC{Op: BCCmpL}) }
+
+func (a *Asm) AddF() *Asm  { return a.emit(BC{Op: BCAddF}) }
+func (a *Asm) SubF() *Asm  { return a.emit(BC{Op: BCSubF}) }
+func (a *Asm) MulF() *Asm  { return a.emit(BC{Op: BCMulF}) }
+func (a *Asm) DivF() *Asm  { return a.emit(BC{Op: BCDivF}) }
+func (a *Asm) RemF() *Asm  { return a.emit(BC{Op: BCRemF}) }
+func (a *Asm) NegF() *Asm  { return a.emit(BC{Op: BCNegF}) }
+func (a *Asm) CmpFL() *Asm { return a.emit(BC{Op: BCCmpFL}) }
+func (a *Asm) CmpFG() *Asm { return a.emit(BC{Op: BCCmpFG}) }
+
+func (a *Asm) AddD() *Asm  { return a.emit(BC{Op: BCAddD}) }
+func (a *Asm) SubD() *Asm  { return a.emit(BC{Op: BCSubD}) }
+func (a *Asm) MulD() *Asm  { return a.emit(BC{Op: BCMulD}) }
+func (a *Asm) DivD() *Asm  { return a.emit(BC{Op: BCDivD}) }
+func (a *Asm) RemD() *Asm  { return a.emit(BC{Op: BCRemD}) }
+func (a *Asm) NegD() *Asm  { return a.emit(BC{Op: BCNegD}) }
+func (a *Asm) CmpDL() *Asm { return a.emit(BC{Op: BCCmpDL}) }
+func (a *Asm) CmpDG() *Asm { return a.emit(BC{Op: BCCmpDG}) }
+
+// --- conversions ---
+
+func (a *Asm) I2L() *Asm { return a.emit(BC{Op: BCI2L}) }
+func (a *Asm) I2F() *Asm { return a.emit(BC{Op: BCI2F}) }
+func (a *Asm) I2D() *Asm { return a.emit(BC{Op: BCI2D}) }
+func (a *Asm) L2I() *Asm { return a.emit(BC{Op: BCL2I}) }
+func (a *Asm) L2F() *Asm { return a.emit(BC{Op: BCL2F}) }
+func (a *Asm) L2D() *Asm { return a.emit(BC{Op: BCL2D}) }
+func (a *Asm) F2I() *Asm { return a.emit(BC{Op: BCF2I}) }
+func (a *Asm) F2L() *Asm { return a.emit(BC{Op: BCF2L}) }
+func (a *Asm) F2D() *Asm { return a.emit(BC{Op: BCF2D}) }
+func (a *Asm) D2I() *Asm { return a.emit(BC{Op: BCD2I}) }
+func (a *Asm) D2L() *Asm { return a.emit(BC{Op: BCD2L}) }
+func (a *Asm) D2F() *Asm { return a.emit(BC{Op: BCD2F}) }
+func (a *Asm) I2B() *Asm { return a.emit(BC{Op: BCI2B}) }
+func (a *Asm) I2C() *Asm { return a.emit(BC{Op: BCI2C}) }
+func (a *Asm) I2S() *Asm { return a.emit(BC{Op: BCI2S}) }
+
+// --- control flow ---
+
+// Goto jumps unconditionally to l.
+func (a *Asm) Goto(l *Label) *Asm { return a.emit(BC{Op: BCGoto, Target: l}) }
+
+// IfEQ pops an int and branches to l when it is zero; the other
+// conditional emitters follow the JVM's semantics likewise.
+func (a *Asm) IfEQ(l *Label) *Asm { return a.emit(BC{Op: BCIfEQ, Target: l}) }
+func (a *Asm) IfNE(l *Label) *Asm { return a.emit(BC{Op: BCIfNE, Target: l}) }
+func (a *Asm) IfLT(l *Label) *Asm { return a.emit(BC{Op: BCIfLT, Target: l}) }
+func (a *Asm) IfGE(l *Label) *Asm { return a.emit(BC{Op: BCIfGE, Target: l}) }
+func (a *Asm) IfGT(l *Label) *Asm { return a.emit(BC{Op: BCIfGT, Target: l}) }
+func (a *Asm) IfLE(l *Label) *Asm { return a.emit(BC{Op: BCIfLE, Target: l}) }
+
+func (a *Asm) IfICmpEQ(l *Label) *Asm { return a.emit(BC{Op: BCIfICmpEQ, Target: l}) }
+func (a *Asm) IfICmpNE(l *Label) *Asm { return a.emit(BC{Op: BCIfICmpNE, Target: l}) }
+func (a *Asm) IfICmpLT(l *Label) *Asm { return a.emit(BC{Op: BCIfICmpLT, Target: l}) }
+func (a *Asm) IfICmpGE(l *Label) *Asm { return a.emit(BC{Op: BCIfICmpGE, Target: l}) }
+func (a *Asm) IfICmpGT(l *Label) *Asm { return a.emit(BC{Op: BCIfICmpGT, Target: l}) }
+func (a *Asm) IfICmpLE(l *Label) *Asm { return a.emit(BC{Op: BCIfICmpLE, Target: l}) }
+
+func (a *Asm) IfACmpEQ(l *Label) *Asm  { return a.emit(BC{Op: BCIfACmpEQ, Target: l}) }
+func (a *Asm) IfACmpNE(l *Label) *Asm  { return a.emit(BC{Op: BCIfACmpNE, Target: l}) }
+func (a *Asm) IfNull(l *Label) *Asm    { return a.emit(BC{Op: BCIfNull, Target: l}) }
+func (a *Asm) IfNonNull(l *Label) *Asm { return a.emit(BC{Op: BCIfNonNull, Target: l}) }
+
+// TableSwitch pops an index and jumps to targets[index-low], or def when
+// out of range.
+func (a *Asm) TableSwitch(low int32, def *Label, targets ...*Label) *Asm {
+	return a.emit(BC{Op: BCTableSwitch, A: low, Target: def, Table: targets})
+}
+
+// LookupSwitch pops a key and jumps to the target paired with it in
+// keys/targets, or def when absent. Keys must be strictly ascending.
+func (a *Asm) LookupSwitch(def *Label, keys []int32, targets []*Label) *Asm {
+	if len(keys) != len(targets) {
+		a.fail("lookupswitch: %d keys vs %d targets", len(keys), len(targets))
+	}
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			a.fail("lookupswitch keys not strictly ascending at %d", i)
+		}
+	}
+	return a.emit(BC{Op: BCLookupSwitch, Target: def, Keys: keys, Table: targets})
+}
+
+// --- fields, arrays, objects ---
+
+// GetField pops a receiver and pushes f's value.
+func (a *Asm) GetField(f *Field) *Asm {
+	if f.Static {
+		a.fail("getfield on static %s", f)
+	}
+	return a.emit(BC{Op: BCGetField, F: f})
+}
+
+// PutField pops a value then a receiver and stores into f.
+func (a *Asm) PutField(f *Field) *Asm {
+	if f.Static {
+		a.fail("putfield on static %s", f)
+	}
+	return a.emit(BC{Op: BCPutField, F: f})
+}
+
+// GetStatic pushes static field f.
+func (a *Asm) GetStatic(f *Field) *Asm {
+	if !f.Static {
+		a.fail("getstatic on instance %s", f)
+	}
+	return a.emit(BC{Op: BCGetStatic, F: f})
+}
+
+// PutStatic pops into static field f.
+func (a *Asm) PutStatic(f *Field) *Asm {
+	if !f.Static {
+		a.fail("putstatic on instance %s", f)
+	}
+	return a.emit(BC{Op: BCPutStatic, F: f})
+}
+
+// NewArray pops a length and pushes a new primitive array.
+func (a *Asm) NewArray(k isaElem) *Asm { return a.emit(BC{Op: BCNewArray, Kind: k}) }
+
+// ANewArray pops a length and pushes a new reference array.
+func (a *Asm) ANewArray(c *Class) *Asm {
+	return a.emit(BC{Op: BCANewArray, C: c, Kind: refElem})
+}
+
+// ALoad pops index then array and pushes the element.
+func (a *Asm) ALoad(k isaElem) *Asm { return a.emit(BC{Op: BCALoad, Kind: k}) }
+
+// AStore pops value, index, array and stores the element.
+func (a *Asm) AStore(k isaElem) *Asm { return a.emit(BC{Op: BCAStore, Kind: k}) }
+
+// ArrayLen pops an array and pushes its length.
+func (a *Asm) ArrayLen() *Asm { return a.emit(BC{Op: BCArrayLen}) }
+
+// New pushes a new uninitialised instance of c. (Call its constructor
+// with InvokeSpecial afterwards, as javac does.)
+func (a *Asm) New(c *Class) *Asm { return a.emit(BC{Op: BCNew, C: c}) }
+
+// InvokeVirtual calls m through the receiver's vtable.
+func (a *Asm) InvokeVirtual(m *Method) *Asm {
+	if m.IsStatic() {
+		a.fail("invokevirtual on static %s", m.Sig())
+	}
+	return a.emit(BC{Op: BCInvokeVirtual, M: m})
+}
+
+// InvokeSpecial calls m directly (constructors, super calls).
+func (a *Asm) InvokeSpecial(m *Method) *Asm {
+	if m.IsStatic() {
+		a.fail("invokespecial on static %s", m.Sig())
+	}
+	return a.emit(BC{Op: BCInvokeSpecial, M: m})
+}
+
+// InvokeStatic calls static method m.
+func (a *Asm) InvokeStatic(m *Method) *Asm {
+	if !m.IsStatic() {
+		a.fail("invokestatic on instance %s", m.Sig())
+	}
+	return a.emit(BC{Op: BCInvokeStatic, M: m})
+}
+
+// InvokeInterface calls interface method m through the receiver's itable.
+func (a *Asm) InvokeInterface(m *Method) *Asm {
+	if !m.Class.IsInterface {
+		a.fail("invokeinterface on class method %s", m.Sig())
+	}
+	return a.emit(BC{Op: BCInvokeInterface, M: m})
+}
+
+// InstanceOf pops a reference and pushes 1 when it is a non-null
+// instance of c.
+func (a *Asm) InstanceOf(c *Class) *Asm { return a.emit(BC{Op: BCInstanceOf, C: c}) }
+
+// CheckCast traps unless the top reference is null or an instance of c.
+func (a *Asm) CheckCast(c *Class) *Asm { return a.emit(BC{Op: BCCheckCast, C: c}) }
+
+// Ret returns the top of stack as the method's value.
+func (a *Asm) Ret() *Asm {
+	if a.m.Ret == Void {
+		a.fail("value return from void method")
+	}
+	return a.emit(BC{Op: BCReturn})
+}
+
+// RetVoid returns from a void method.
+func (a *Asm) RetVoid() *Asm {
+	if a.m.Ret != Void {
+		a.fail("void return from %s method", a.m.Ret)
+	}
+	return a.emit(BC{Op: BCReturnVoid})
+}
+
+// MonitorEnter pops a reference and acquires its monitor.
+func (a *Asm) MonitorEnter() *Asm { return a.emit(BC{Op: BCMonitorEnter}) }
+
+// MonitorExit pops a reference and releases its monitor.
+func (a *Asm) MonitorExit() *Asm { return a.emit(BC{Op: BCMonitorExit}) }
+
+// Throw pops a throwable and unwinds.
+func (a *Asm) Throw() *Asm { return a.emit(BC{Op: BCThrow}) }
+
+// handlerSpec is a pending Catch registration resolved at Build.
+type handlerSpec struct {
+	from, to, target *Label
+	typ              *Class
+}
+
+// Catch registers an exception handler: throws raised at bytecode
+// positions in [from, to) whose object is an instance of catchType
+// (nil = catch everything) branch to handler with the thrown reference
+// as the only stack value. Handlers match in registration order.
+func (a *Asm) Catch(from, to, handler *Label, catchType *Class) *Asm {
+	a.handlers = append(a.handlers, handlerSpec{from: from, to: to, target: handler, typ: catchType})
+	return a
+}
+
+// Build finalises the body: checks labels, attaches the code and
+// MaxLocals to the method.
+func (a *Asm) Build() error {
+	if a.built {
+		return fmt.Errorf("asm %s: Build called twice", a.m.Sig())
+	}
+	if a.err != nil {
+		return a.err
+	}
+	if len(a.code) == 0 {
+		return fmt.Errorf("asm %s: empty body", a.m.Sig())
+	}
+	for pc, bc := range a.code {
+		targets := make([]*Label, 0, 1+len(bc.Table))
+		if bc.Target != nil {
+			targets = append(targets, bc.Target)
+		}
+		targets = append(targets, bc.Table...)
+		for _, l := range targets {
+			if !l.bound {
+				return fmt.Errorf("asm %s: pc %d: unbound label %s", a.m.Sig(), pc, l.name)
+			}
+			if l.pc < 0 || l.pc > len(a.code) {
+				return fmt.Errorf("asm %s: pc %d: label %s out of range", a.m.Sig(), pc, l.name)
+			}
+		}
+	}
+	last := a.code[len(a.code)-1].Op
+	if !last.EndsBlock() {
+		return fmt.Errorf("asm %s: control falls off the end (last op %v)", a.m.Sig(), last)
+	}
+	for i, h := range a.handlers {
+		for _, l := range []*Label{h.from, h.to, h.target} {
+			if !l.bound {
+				return fmt.Errorf("asm %s: handler %d has an unbound label", a.m.Sig(), i)
+			}
+		}
+		if h.from.pc >= h.to.pc {
+			return fmt.Errorf("asm %s: handler %d protects empty range [%d,%d)",
+				a.m.Sig(), i, h.from.pc, h.to.pc)
+		}
+		a.m.Handlers = append(a.m.Handlers, Handler{
+			From: h.from.pc, To: h.to.pc, Target: h.target.pc, Type: h.typ,
+		})
+	}
+	a.m.Code = a.code
+	a.m.MaxLocals = a.maxLocal + 1
+	a.built = true
+	return nil
+}
+
+// MustBuild is Build but panics on error; workload builders use it.
+func (a *Asm) MustBuild() {
+	if err := a.Build(); err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,453 @@
+package classfile
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestProgramBasics(t *testing.T) {
+	p := NewProgram()
+	if p.Object == nil || p.Lookup("java/lang/Object") != p.Object {
+		t.Fatal("Object root missing")
+	}
+	c := p.NewClass("Point", nil)
+	if c.Super != p.Object {
+		t.Error("default super should be Object")
+	}
+	if p.Lookup("Point") != c {
+		t.Error("Lookup failed")
+	}
+}
+
+func TestDuplicateClassPanics(t *testing.T) {
+	p := NewProgram()
+	p.NewClass("A", nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate class")
+		}
+	}()
+	p.NewClass("A", nil)
+}
+
+func buildTrivialMain(p *Program, c *Class) *Method {
+	m := c.NewMethod("main", FlagStatic, Void)
+	a := m.Asm()
+	a.RetVoid()
+	a.MustBuild()
+	return m
+}
+
+func TestFieldSlotAssignment(t *testing.T) {
+	p := NewProgram()
+	a := p.NewClass("A", nil)
+	fa1 := a.NewField("x", Int)
+	fa2 := a.NewField("y", Double)
+	b := p.NewClass("B", a)
+	fb1 := b.NewField("z", Ref)
+	sa := a.NewStaticField("count", Int)
+	sb := b.NewStaticField("total", Long)
+	buildTrivialMain(p, a)
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if fa1.Slot != 0 || fa2.Slot != 1 {
+		t.Errorf("A slots: %d, %d", fa1.Slot, fa2.Slot)
+	}
+	if fb1.Slot != 2 {
+		t.Errorf("B.z slot: %d (must follow super's)", fb1.Slot)
+	}
+	if a.InstanceSlots != 2 || b.InstanceSlots != 3 {
+		t.Errorf("instance slots: A=%d B=%d", a.InstanceSlots, b.InstanceSlots)
+	}
+	if sa.Slot == sb.Slot {
+		t.Error("static slots collide")
+	}
+	if p.StaticSlots() != 2 {
+		t.Errorf("StaticSlots: %d", p.StaticSlots())
+	}
+}
+
+func TestVTableOverride(t *testing.T) {
+	p := NewProgram()
+	a := p.NewClass("Animal", nil)
+	speak := a.NewMethod("speak", 0, Int)
+	sa := speak.Asm()
+	sa.ConstI(1)
+	sa.Ret()
+	sa.MustBuild()
+
+	b := p.NewClass("Dog", a)
+	bark := b.NewMethod("speak", 0, Int)
+	ba := bark.Asm()
+	ba.ConstI(2)
+	ba.Ret()
+	ba.MustBuild()
+
+	extra := b.NewMethod("fetch", 0, Void)
+	ea := extra.Asm()
+	ea.RetVoid()
+	ea.MustBuild()
+
+	buildTrivialMain(p, a)
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if speak.VSlot != bark.VSlot {
+		t.Errorf("override must share slot: %d vs %d", speak.VSlot, bark.VSlot)
+	}
+	if a.VTable[speak.VSlot] != speak || b.VTable[bark.VSlot] != bark {
+		t.Error("vtable entries wrong")
+	}
+	if extra.VSlot == bark.VSlot {
+		t.Error("new virtual must get a fresh slot")
+	}
+	if b.ITable == nil {
+		t.Error("concrete class should have an itable (possibly empty)")
+	}
+}
+
+func TestInterfaceResolution(t *testing.T) {
+	p := NewProgram()
+	iface := p.NewInterface("Runnable")
+	run := iface.NewMethod("run", FlagAbstract, Void)
+
+	c := p.NewClass("Task", nil)
+	c.AddInterface(iface)
+	impl := c.NewMethod("run", 0, Void)
+	ia := impl.Asm()
+	ia.RetVoid()
+	ia.MustBuild()
+
+	buildTrivialMain(p, c)
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if run.IfaceID < 0 {
+		t.Fatal("interface method got no IfaceID")
+	}
+	if c.ITable[run.IfaceID] != impl {
+		t.Errorf("itable should map %d to %s", run.IfaceID, impl.Sig())
+	}
+	if !c.IsSubclassOf(iface) {
+		t.Error("Task should be subtype of Runnable")
+	}
+	if p.Object.IsSubclassOf(iface) {
+		t.Error("Object must not be subtype of Runnable")
+	}
+}
+
+func TestInheritanceCycleDetected(t *testing.T) {
+	p := NewProgram()
+	a := p.NewClass("A", nil)
+	b := p.NewClass("B", a)
+	a.Super = b // force a cycle
+	if err := p.Resolve(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("expected cycle error, got %v", err)
+	}
+}
+
+func TestAsmLabelsAndLoop(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("Loop", nil)
+	m := c.NewMethod("sum", FlagStatic, Int, Int)
+	a := m.Asm()
+	// int s = 0; for (int i = 0; i < n; i++) s += i; return s;
+	loop, done := a.NewLabel(), a.NewLabel()
+	a.ConstI(0)
+	a.StoreI(1) // s
+	a.ConstI(0)
+	a.StoreI(2) // i
+	a.Bind(loop)
+	a.LoadI(2)
+	a.LoadI(0)
+	a.IfICmpGE(done)
+	a.LoadI(1)
+	a.LoadI(2)
+	a.AddI()
+	a.StoreI(1)
+	a.Inc(2, 1)
+	a.Goto(loop)
+	a.Bind(done)
+	a.LoadI(1)
+	a.Ret()
+	if err := a.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxLocals != 3 {
+		t.Errorf("MaxLocals: %d", m.MaxLocals)
+	}
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxStack != 2 {
+		t.Errorf("MaxStack: %d want 2", m.MaxStack)
+	}
+}
+
+func TestAsmRejectsUnboundLabel(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("Bad", nil)
+	m := c.NewMethod("f", FlagStatic, Void)
+	a := m.Asm()
+	l := a.NewLabel()
+	a.Goto(l)
+	if err := a.Build(); err == nil || !strings.Contains(err.Error(), "unbound") {
+		t.Errorf("expected unbound-label error, got %v", err)
+	}
+	_ = p
+}
+
+func TestAsmRejectsFallOffEnd(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("Bad2", nil)
+	m := c.NewMethod("f", FlagStatic, Void)
+	a := m.Asm()
+	a.ConstI(1)
+	a.Pop()
+	if err := a.Build(); err == nil || !strings.Contains(err.Error(), "falls off") {
+		t.Errorf("expected fall-off error, got %v", err)
+	}
+	_ = p
+}
+
+func TestVerifyCatchesKindMismatch(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("KBad", nil)
+	m := c.NewMethod("f", FlagStatic, Void)
+	a := m.Asm()
+	a.ConstI(1)
+	a.ConstD(2.0)
+	a.AddI() // int add on (int, double): must be rejected
+	a.Pop()
+	a.RetVoid()
+	a.MustBuild()
+	if err := p.Resolve(); err == nil || !strings.Contains(err.Error(), "expected int") {
+		t.Errorf("expected kind-mismatch error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesStackDepthMismatchAtJoin(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("JBad", nil)
+	m := c.NewMethod("f", FlagStatic, Void, Int)
+	a := m.Asm()
+	other, join := a.NewLabel(), a.NewLabel()
+	a.LoadI(0)
+	a.IfEQ(other)
+	a.ConstI(1) // depth 1 on this path
+	a.Goto(join)
+	a.Bind(other) // depth 0 on this path
+	a.Bind(join)
+	a.Pop()
+	a.RetVoid()
+	a.MustBuild()
+	if err := p.Resolve(); err == nil || !strings.Contains(err.Error(), "depth mismatch") {
+		t.Errorf("expected depth-mismatch error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesLocalKindConflictUse(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("LBad", nil)
+	m := c.NewMethod("f", FlagStatic, Int, Int)
+	a := m.Asm()
+	other, join := a.NewLabel(), a.NewLabel()
+	a.LoadI(0)
+	a.IfEQ(other)
+	a.ConstI(7)
+	a.StoreI(1)
+	a.Goto(join)
+	a.Bind(other)
+	a.ConstD(1.5)
+	a.StoreD(1)
+	a.Bind(join)
+	a.LoadI(1) // local 1 kind differs across paths: unusable
+	a.Ret()
+	a.MustBuild()
+	if err := p.Resolve(); err == nil {
+		t.Error("expected verifier error for conflicted local use")
+	}
+}
+
+func TestVerifyMethodCallShapes(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("Calls", nil)
+	callee := c.NewMethod("mix", FlagStatic, Double, Int, Double)
+	ca := callee.Asm()
+	ca.LoadI(0)
+	ca.I2D()
+	ca.LoadD(1)
+	ca.AddD()
+	ca.Ret()
+	ca.MustBuild()
+
+	m := c.NewMethod("main", FlagStatic, Void)
+	a := m.Asm()
+	a.ConstI(2)
+	a.ConstD(3.5)
+	a.InvokeStatic(callee)
+	a.Pop()
+	a.RetVoid()
+	a.MustBuild()
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxStack != 2 {
+		t.Errorf("MaxStack: got %d want 2", m.MaxStack)
+	}
+}
+
+func TestVerifyRejectsBadCallArgs(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("Calls2", nil)
+	callee := c.NewMethod("want2", FlagStatic, Void, Int, Int)
+	ca := callee.Asm()
+	ca.RetVoid()
+	ca.MustBuild()
+	m := c.NewMethod("main", FlagStatic, Void)
+	a := m.Asm()
+	a.ConstI(1)
+	a.InvokeStatic(callee) // one arg missing
+	a.RetVoid()
+	a.MustBuild()
+	if err := p.Resolve(); err == nil {
+		t.Error("expected arity error")
+	}
+}
+
+func TestSwitchVerification(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("Sw", nil)
+	m := c.NewMethod("pick", FlagStatic, Int, Int)
+	a := m.Asm()
+	c0, c1, def := a.NewLabel(), a.NewLabel(), a.NewLabel()
+	a.LoadI(0)
+	a.TableSwitch(0, def, c0, c1)
+	a.Bind(c0)
+	a.ConstI(100)
+	a.Ret()
+	a.Bind(c1)
+	a.ConstI(200)
+	a.Ret()
+	a.Bind(def)
+	a.ConstI(-1)
+	a.Ret()
+	a.MustBuild()
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupSwitchKeyOrderEnforced(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("Sw2", nil)
+	m := c.NewMethod("pick", FlagStatic, Void, Int)
+	a := m.Asm()
+	l, def := a.NewLabel(), a.NewLabel()
+	a.Bind(l)
+	a.Bind(def)
+	a.LoadI(0)
+	a.LookupSwitch(def, []int32{5, 3}, []*Label{l, l}) // unordered
+	a.RetVoid()
+	if err := a.Build(); err == nil || !strings.Contains(err.Error(), "ascending") {
+		t.Errorf("expected key-order error, got %v", err)
+	}
+	_ = p
+}
+
+func TestMethodAnnotations(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("Ann", nil)
+	m := c.NewMethod("hot", FlagStatic, Void).Annotate(AnnFloatIntensive)
+	a := m.Asm()
+	a.RetVoid()
+	a.MustBuild()
+	if !m.Annotations[AnnFloatIntensive] {
+		t.Error("annotation lost")
+	}
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNativeMethodTagDefaults(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("Sys", nil)
+	n := c.NewMethod("nanoTime", FlagStatic|FlagNative, Long)
+	buildTrivialMain(p, c)
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if n.NativeTag != "Sys.nanoTime" {
+		t.Errorf("NativeTag: %q", n.NativeTag)
+	}
+}
+
+func TestGlobalMethodIDsDense(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("M", nil)
+	for i := 0; i < 5; i++ {
+		m := c.NewMethod("f"+string(rune('0'+i)), FlagStatic, Void)
+		a := m.Asm()
+		a.RetVoid()
+		a.MustBuild()
+	}
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range p.Methods() {
+		if m.ID != i {
+			t.Errorf("method %s has ID %d at index %d", m.Sig(), m.ID, i)
+		}
+		if p.MethodByID(i) != m {
+			t.Errorf("MethodByID(%d) mismatch", i)
+		}
+	}
+}
+
+func TestResolveTwiceFails(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("X", nil)
+	buildTrivialMain(p, c)
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Resolve(); err == nil {
+		t.Error("second Resolve should fail")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	p := NewProgram()
+	c := p.NewClass("D", nil)
+	f := c.NewField("x", Int)
+	m := c.NewMethod("go", FlagStatic, Int, Ref)
+	a := m.Asm()
+	s0, e0, h0 := a.NewLabel(), a.NewLabel(), a.NewLabel()
+	a.Bind(s0)
+	a.LoadRef(0)
+	a.GetField(f)
+	a.Bind(e0)
+	a.Ret()
+	a.Bind(h0)
+	a.Pop()
+	a.ConstI(-1)
+	a.Ret()
+	a.Catch(s0, e0, h0, nil)
+	a.MustBuild()
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	out := m.Disassemble()
+	for _, want := range []string{"D.go(ref)int", "getfield", "D.x", "exception table", "-> @3"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	n := c.NewMethod("nat", FlagStatic|FlagNative, Void)
+	n.NativeTag = "D.nat"
+	if !strings.Contains(n.Disassemble(), "[native D.nat]") {
+		t.Error("native disassembly wrong")
+	}
+}

@@ -1,0 +1,60 @@
+// Package classfile defines the Java-bytecode-subset program
+// representation that Hera-JVM executes: classes, fields, methods,
+// bytecode instructions, an assembler for building programs
+// programmatically, resolution (field slots, vtables, global IDs) and a
+// structural verifier.
+//
+// Hera-JVM runs unmodified Java applications; this reproduction has no
+// javac, so programs are built through the assembler API instead of being
+// parsed from .class files. The bytecode semantics, the class/metadata
+// model (TIB-per-class, as in JikesRVM) and the compilation pipeline
+// downstream of this package follow the JVM model.
+package classfile
+
+// TypeKind is the verification-level type of a value: the JVM's
+// computational types.
+type TypeKind uint8
+
+const (
+	// Void is only valid as a return type.
+	Void TypeKind = iota
+	// Int covers boolean, byte, char, short and int.
+	Int
+	// Long is a 64-bit integer.
+	Long
+	// Float is a 32-bit IEEE float.
+	Float
+	// Double is a 64-bit IEEE float.
+	Double
+	// Ref is an object or array reference.
+	Ref
+)
+
+var typeNames = [...]string{"void", "int", "long", "float", "double", "ref"}
+
+// String returns the type's name.
+func (t TypeKind) String() string {
+	if int(t) < len(typeNames) {
+		return typeNames[t]
+	}
+	return "?"
+}
+
+// IsRef reports whether the kind is a reference.
+func (t TypeKind) IsRef() bool { return t == Ref }
+
+// Annotation names understood by the runtime's placement policies. The
+// paper (§3) proposes "platform-neutral hints of expected behaviour";
+// these are the hints its Section 4 analysis motivates.
+const (
+	// AnnFloatIntensive tags floating-point-heavy code: a strong SPE
+	// candidate (mandelbrot-like behaviour in Figure 4/5).
+	AnnFloatIntensive = "FloatIntensive"
+	// AnnMemoryIntensive tags code dominated by irregular main-memory
+	// access: a PPE candidate (compress-like behaviour).
+	AnnMemoryIntensive = "MemoryIntensive"
+	// AnnRunOnSPE / AnnRunOnPPE force placement of the annotated method
+	// (and the thread executing it, until return).
+	AnnRunOnSPE = "RunOnSPE"
+	AnnRunOnPPE = "RunOnPPE"
+)

@@ -1,0 +1,138 @@
+// Package core composes the Hera-JVM system — the simulated Cell
+// machine, the per-core JIT compilers, the SPE software caches, the
+// runtime (threads, scheduler, migration, GC) and the profiler — behind
+// one orchestration type, and renders machine-level reports. This is the
+// paper's contribution as a single artefact: a runtime system that hides
+// processor heterogeneity behind a homogeneous virtual machine.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/classfile"
+	"herajvm/internal/isa"
+	"herajvm/internal/vm"
+)
+
+// System is a booted Hera-JVM on a simulated Cell machine.
+type System struct {
+	VM *vm.VM
+}
+
+// NewSystem boots a system for a program (resolving it if needed).
+func NewSystem(cfg vm.Config, prog *classfile.Program) (*System, error) {
+	v, err := vm.New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	return &System{VM: v}, nil
+}
+
+// Result summarises one run.
+type Result struct {
+	// Cycles is the machine time the run took (largest core clock).
+	Cycles cell.Clock
+	// Millis is Cycles at the Cell's 3.2 GHz.
+	Millis float64
+	// Value is the entry method's return value (low bits for int).
+	Value uint64
+	// HasValue reports whether the entry method returned a value.
+	HasValue bool
+	// Output is captured System.out text.
+	Output string
+}
+
+// Run executes a static entry method to completion.
+func (s *System) Run(className, methodName string) (*Result, error) {
+	start := s.VM.Machine.MaxClock()
+	th, err := s.VM.RunMain(className, methodName)
+	if err != nil {
+		return nil, err
+	}
+	cycles := s.VM.Machine.MaxClock() - start
+	return &Result{
+		Cycles:   cycles,
+		Millis:   float64(cycles) / 3.2e6,
+		Value:    th.Result,
+		HasValue: th.HasResult,
+		Output:   s.VM.Output(),
+	}, nil
+}
+
+// Report renders a per-core machine report: cycle breakdown by operation
+// class, software-cache behaviour, DMA traffic, JIT activity, GC pauses
+// and thread migrations.
+func (s *System) Report() string {
+	var b strings.Builder
+	m := s.VM.Machine
+	fmt.Fprintf(&b, "machine: 1 PPE + %d SPEs, clock %d cycles\n", len(m.SPEs), m.MaxClock())
+
+	for _, c := range m.Cores() {
+		st := &c.Stats
+		fmt.Fprintf(&b, "%-5s busy=%-12d idle=%-12d instrs=%-12d", c, st.Busy(), st.Idle, st.Instrs)
+		if c.Kind == isa.SPE {
+			fmt.Fprintf(&b, " dcache=%.3f ccache=%.3f dma=%s",
+				st.DataHitRate(), st.CodeHitRate(), fmtBytes(st.DMABytes))
+		} else {
+			fmt.Fprintf(&b, " l1=%.3f l2=%.3f bp=%.3f",
+				c.Mem.L1.HitRate(), c.Mem.L2.HitRate(), c.BP.Accuracy())
+		}
+		fmt.Fprintf(&b, " mig in/out=%d/%d\n", st.MigrationsIn, st.MigrationsOut)
+	}
+
+	fmt.Fprintf(&b, "classes: ")
+	var total [isa.NumClasses]uint64
+	var busy uint64
+	for _, c := range m.Cores() {
+		for i, cy := range c.Stats.Cycles {
+			total[i] += cy
+			busy += cy
+		}
+	}
+	if busy > 0 {
+		for i, cy := range total {
+			fmt.Fprintf(&b, "%s %.1f%%  ", isa.OpClass(i), 100*float64(cy)/float64(busy))
+		}
+	}
+	fmt.Fprintf(&b, "\n")
+
+	fmt.Fprintf(&b, "eib: %d transfers, %s, %d wait cycles\n",
+		m.EIB.Transfers, fmtBytes(m.EIB.Bytes), m.EIB.WaitCycles)
+	ppeJIT := s.VM.Compiler(isa.PPE)
+	speJIT := s.VM.Compiler(isa.SPE)
+	fmt.Fprintf(&b, "jit: PPE %d methods/%s, SPE %d methods/%s\n",
+		ppeJIT.Compiles, fmtBytes(ppeJIT.CodeBytes),
+		speJIT.Compiles, fmtBytes(speJIT.CodeBytes))
+	fmt.Fprintf(&b, "gc: %d collections, %d cycles, %d live objects, %s live\n",
+		s.VM.GCCount, s.VM.GCCycles, s.VM.Heap.LiveObjects(), fmtBytes(uint64(s.VM.Heap.LiveBytes())))
+
+	hot := s.VM.Monitor.Hottest(5)
+	if len(hot) > 0 {
+		fmt.Fprintf(&b, "hottest methods:\n")
+		for _, id := range hot {
+			mth := s.VM.Prog.MethodByID(id)
+			ctr := s.VM.Monitor.ByMethod[id]
+			var mBusy uint64
+			for _, cy := range ctr.Cycles {
+				mBusy += cy
+			}
+			fmt.Fprintf(&b, "  %-40s %12d cycles, fp=%.2f mem=%.2f, %d invokes\n",
+				mth.Sig(), mBusy, ctr.FPShare(), ctr.MemShare(), ctr.Invokes)
+		}
+	}
+	return b.String()
+}
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"herajvm/internal/workloads"
+)
+
+// Fig4a reproduces Figure 4(a): per-workload speedup relative to the PPE
+// when running on one SPE and on six SPEs. The paper reports roughly
+// 0.4x/2.5x for compress, 1.0x/4.6x for mpegaudio and 1.6x/9.4x for
+// mandelbrot.
+type Fig4a struct {
+	Rows []Fig4aRow
+}
+
+// Fig4aRow is one benchmark's bar pair.
+type Fig4aRow struct {
+	Workload  string
+	PPECycles uint64
+	OneSPE    float64 // speedup vs PPE on 1 SPE
+	SixSPE    float64 // speedup vs PPE on MaxSPEs SPEs
+	Valid     bool
+}
+
+// RunFig4a executes the 3 workloads x {PPE, 1 SPE, 6 SPE} matrix.
+func RunFig4a(opt Options) (*Fig4a, error) {
+	out := &Fig4a{}
+	for _, spec := range workloads.All() {
+		scale := opt.scale(spec)
+		// One benchmark thread per core context, as SPECjvm2008 does: a
+		// single thread on the (single-core) PPE and on one SPE, MaxSPEs
+		// threads across MaxSPEs SPEs. Total work is thread-independent.
+		ppe, err := runOne(spec, 1, scale, 0, nil)
+		if err != nil {
+			return nil, err
+		}
+		opt.logf("fig4a %s: PPE done (%d cycles)", spec.Name, ppe.Cycles)
+		one, err := runOne(spec, 1, scale, 1, nil)
+		if err != nil {
+			return nil, err
+		}
+		opt.logf("fig4a %s: 1 SPE done (%d cycles)", spec.Name, one.Cycles)
+		six, err := runOne(spec, minInt(opt.Threads, opt.MaxSPEs), scale, opt.MaxSPEs, nil)
+		if err != nil {
+			return nil, err
+		}
+		opt.logf("fig4a %s: %d SPEs done (%d cycles)", spec.Name, opt.MaxSPEs, six.Cycles)
+		out.Rows = append(out.Rows, Fig4aRow{
+			Workload:  spec.Name,
+			PPECycles: ppe.Cycles,
+			OneSPE:    float64(ppe.Cycles) / float64(one.Cycles),
+			SixSPE:    float64(ppe.Cycles) / float64(six.Cycles),
+			Valid:     ppe.Valid && one.Valid && six.Valid,
+		})
+	}
+	return out, nil
+}
+
+// Table renders the figure as text.
+func (f *Fig4a) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4(a): speedup relative to PPE\n")
+	fmt.Fprintf(&b, "%-12s %12s %10s %10s %7s\n", "benchmark", "PPE cycles", "1 SPE", "6 SPEs", "valid")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-12s %12d %9.2fx %9.2fx %7v\n",
+			r.Workload, r.PPECycles, r.OneSPE, r.SixSPE, r.Valid)
+	}
+	return b.String()
+}
+
+// Fig4b reproduces Figure 4(b): speedup on 1..6 SPEs relative to a
+// single SPE. The paper shows mandelbrot scaling near-linearly and
+// compress flattening from memory/bus contention.
+type Fig4b struct {
+	MaxSPEs int
+	Rows    []Fig4bRow
+}
+
+// Fig4bRow is one benchmark's scaling series.
+type Fig4bRow struct {
+	Workload string
+	Cycles   []uint64  // index i = i+1 SPEs
+	Scaling  []float64 // Cycles[0]/Cycles[i]
+	Valid    bool
+}
+
+// RunFig4b executes the 3 workloads x 1..MaxSPEs matrix.
+func RunFig4b(opt Options) (*Fig4b, error) {
+	out := &Fig4b{MaxSPEs: opt.MaxSPEs}
+	for _, spec := range workloads.All() {
+		scale := opt.scale(spec)
+		row := Fig4bRow{Workload: spec.Name, Valid: true}
+		for n := 1; n <= opt.MaxSPEs; n++ {
+			st, err := runOne(spec, minInt(opt.Threads, n), scale, n, nil)
+			if err != nil {
+				return nil, err
+			}
+			opt.logf("fig4b %s: %d SPEs done (%d cycles)", spec.Name, n, st.Cycles)
+			row.Cycles = append(row.Cycles, st.Cycles)
+			row.Valid = row.Valid && st.Valid
+		}
+		for _, c := range row.Cycles {
+			row.Scaling = append(row.Scaling, float64(row.Cycles[0])/float64(c))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Table renders the figure as text.
+func (f *Fig4b) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4(b): speedup relative to one SPE\n")
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for n := 1; n <= f.MaxSPEs; n++ {
+		fmt.Fprintf(&b, " %6d", n)
+	}
+	fmt.Fprintf(&b, " %7s\n", "valid")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-12s", r.Workload)
+		for _, s := range r.Scaling {
+			fmt.Fprintf(&b, " %5.2fx", s)
+		}
+		fmt.Fprintf(&b, " %7v\n", r.Valid)
+	}
+	return b.String()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"herajvm/internal/isa"
+	"herajvm/internal/workloads"
+)
+
+// Fig5 reproduces Figure 5: the proportion of SPE cycles spent in each
+// operation type when the benchmark runs on SPE cores. The paper's
+// qualitative findings: mandelbrot performs significantly more floating
+// point than the others; compress spends more of its execution accessing
+// main memory.
+type Fig5 struct {
+	Rows []Fig5Row
+}
+
+// Fig5Row is one benchmark's stacked bar.
+type Fig5Row struct {
+	Workload string
+	Shares   [isa.NumClasses]float64
+	Valid    bool
+}
+
+// RunFig5 profiles each workload on one SPE (cycle-class accounting is
+// the simulator's native measurement, exactly as the authors "using a
+// simulator ... calculated the proportion of processor cycles").
+func RunFig5(opt Options) (*Fig5, error) {
+	out := &Fig5{}
+	for _, spec := range workloads.All() {
+		st, err := runOne(spec, 1, opt.scale(spec), 1, nil)
+		if err != nil {
+			return nil, err
+		}
+		opt.logf("fig5 %s done", spec.Name)
+		out.Rows = append(out.Rows, Fig5Row{Workload: spec.Name, Shares: st.SPEShares, Valid: st.Valid})
+	}
+	return out, nil
+}
+
+// Table renders the figure as text.
+func (f *Fig5) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: proportion of SPE cycles per operation type\n")
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for c := 0; c < isa.NumClasses; c++ {
+		fmt.Fprintf(&b, " %14s", isa.OpClass(c))
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-12s", r.Workload)
+		for _, s := range r.Shares {
+			fmt.Fprintf(&b, " %13.1f%%", 100*s)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

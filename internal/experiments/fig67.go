@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"herajvm/internal/vm"
+	"herajvm/internal/workloads"
+)
+
+// CacheSweep holds a Figure 6 or Figure 7 style sweep: per workload, the
+// software-cache hit rate and the performance relative to the largest
+// (default) size, as the data or code cache shrinks.
+type CacheSweep struct {
+	Figure  string
+	Axis    string
+	SizesKB []int
+	Rows    []CacheSweepRow
+}
+
+// CacheSweepRow is one benchmark's pair of series.
+type CacheSweepRow struct {
+	Workload string
+	HitRate  []float64
+	RelPerf  []float64 // cycles(default size) / cycles(size)
+	Valid    bool
+}
+
+// Fig6Sizes are the paper's data-cache x-axis points (KB). The paper
+// sweeps down from the 104 KB default; 0 is unbuildable (every access
+// would DMA) and is omitted as in our Figure 6 reading of the plot's
+// leftmost usable points.
+var Fig6Sizes = []int{8, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104}
+
+// Fig7Sizes are the paper's code-cache x-axis points (KB).
+var Fig7Sizes = []int{8, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88}
+
+// RunFig6 sweeps the SPE software data-cache size on one SPE.
+// Paper shape: compress has a consistently lower hit rate and degrades
+// steeply; mpegaudio is relatively insensitive to data-cache size.
+func RunFig6(opt Options) (*CacheSweep, error) {
+	return runCacheSweep(opt, "Figure 6", "data cache KB", Fig6Sizes,
+		func(cfg *vm.Config, kb int) { cfg.DataCache.Size = uint32(kb) << 10 })
+}
+
+// RunFig7 sweeps the SPE software code-cache size on one SPE.
+// Paper shape: mpegaudio is very susceptible to code-cache reduction;
+// compress and mandelbrot barely react.
+func RunFig7(opt Options) (*CacheSweep, error) {
+	return runCacheSweep(opt, "Figure 7", "code cache KB", Fig7Sizes,
+		func(cfg *vm.Config, kb int) { cfg.CodeCache.Size = uint32(kb) << 10 })
+}
+
+func runCacheSweep(opt Options, figure, axis string, sizes []int,
+	set func(cfg *vm.Config, kb int)) (*CacheSweep, error) {
+
+	out := &CacheSweep{Figure: figure, Axis: axis, SizesKB: sizes}
+	for _, spec := range workloads.All() {
+		scale := opt.scale(spec)
+		row := CacheSweepRow{Workload: spec.Name, Valid: true}
+		var cycles []uint64
+		for _, kb := range sizes {
+			st, err := runOne(spec, 1, scale, 1, func(cfg *vm.Config) {
+				set(cfg, kb)
+			})
+			if err != nil {
+				return nil, err
+			}
+			opt.logf("%s %s: %d KB done (%d cycles)", figure, spec.Name, kb, st.Cycles)
+			cycles = append(cycles, st.Cycles)
+			hit := st.DataHitRate
+			if figure == "Figure 7" {
+				hit = st.CodeHitRate
+			}
+			row.HitRate = append(row.HitRate, hit)
+			row.Valid = row.Valid && st.Valid
+		}
+		base := cycles[len(cycles)-1] // largest size = paper's baseline
+		for _, c := range cycles {
+			row.RelPerf = append(row.RelPerf, float64(base)/float64(c))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Table renders the sweep as two text tables (hit rate, relative
+// performance), mirroring the paper's paired plots.
+func (s *CacheSweep) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: hit rate vs %s\n", s.Figure, s.Axis)
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for _, kb := range s.SizesKB {
+		fmt.Fprintf(&b, " %6d", kb)
+	}
+	fmt.Fprintf(&b, "\n")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-12s", r.Workload)
+		for _, h := range r.HitRate {
+			fmt.Fprintf(&b, " %6.3f", h)
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "%s: performance relative to %d KB\n", s.Figure, s.SizesKB[len(s.SizesKB)-1])
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for _, kb := range s.SizesKB {
+		fmt.Fprintf(&b, " %6d", kb)
+	}
+	fmt.Fprintf(&b, " %7s\n", "valid")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-12s", r.Workload)
+		for _, p := range r.RelPerf {
+			fmt.Fprintf(&b, " %6.3f", p)
+		}
+		fmt.Fprintf(&b, " %7v\n", r.Valid)
+	}
+	return b.String()
+}

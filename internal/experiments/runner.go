@@ -1,0 +1,160 @@
+// Package experiments regenerates every figure of the paper's
+// evaluation section (Figures 4(a), 4(b), 5, 6 and 7) plus the ablations
+// DESIGN.md lists (A1-A4). Each experiment builds the relevant workload
+// programs, runs them on configured machines, and returns a table whose
+// rows correspond to the paper's data series. Absolute cycle counts are
+// simulator-calibrated; the claims under test are the relative shapes
+// (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/isa"
+	"herajvm/internal/vm"
+	"herajvm/internal/workloads"
+)
+
+// Options controls experiment scale.
+type Options struct {
+	// Threads caps the number of benchmark worker threads; each figure
+	// run uses min(Threads, cores) workers (SPECjvm2008-style: one
+	// benchmark thread per hardware context).
+	Threads int
+	// ScaleOverride overrides a workload's default scale when nonzero.
+	ScaleOverride map[string]int
+	// MaxSPEs bounds the machine (6 on a PS3).
+	MaxSPEs int
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// Full returns the default experiment options (paper-shaped sizes).
+func Full() Options {
+	return Options{Threads: 6, MaxSPEs: 6}
+}
+
+// Quick returns reduced sizes for unit tests and smoke runs.
+func Quick() Options {
+	return Options{
+		Threads: 6,
+		MaxSPEs: 6,
+		ScaleOverride: map[string]int{
+			"compress":   2,
+			"mpegaudio":  4,
+			"mandelbrot": 2,
+		},
+	}
+}
+
+func (o Options) scale(s workloads.Spec) int {
+	if v, ok := o.ScaleOverride[s.Name]; ok && v > 0 {
+		return v
+	}
+	return s.DefaultScale
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// RunStats captures one benchmark execution.
+type RunStats struct {
+	Workload string
+	NumSPEs  int
+	// Cycles is the completion time (largest core clock at the end).
+	Cycles cell.Clock
+	// Checksum and Valid report output correctness vs the Go reference.
+	Checksum int32
+	Valid    bool
+	// SPE aggregates (across all SPE cores).
+	SPEShares   [isa.NumClasses]float64
+	DataHitRate float64
+	CodeHitRate float64
+	DMABytes    uint64
+	SPEInstrs   uint64
+	PPEInstrs   uint64
+	GCs         uint64
+	EIBWait     uint64
+	Migrations  uint64
+}
+
+// runOne executes a workload on a machine with numSPEs SPE cores
+// (0 = everything on the PPE) and optional config mutation.
+func runOne(spec workloads.Spec, threads, scale, numSPEs int,
+	mutate func(*vm.Config)) (RunStats, error) {
+	return runOneInspect(spec, threads, scale, numSPEs, mutate, nil)
+}
+
+// runOneInspect is runOne plus a post-run VM inspection hook.
+func runOneInspect(spec workloads.Spec, threads, scale, numSPEs int,
+	mutate func(*vm.Config), inspect func(*vm.VM)) (RunStats, error) {
+
+	prog, err := spec.Build(threads, scale)
+	if err != nil {
+		return RunStats{}, err
+	}
+	cfg := vm.DefaultConfig()
+	cfg.Machine.NumSPEs = numSPEs
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	machine, err := vm.New(cfg, prog)
+	if err != nil {
+		return RunStats{}, err
+	}
+	th, err := machine.RunMain(spec.MainClass, "main")
+	if err != nil {
+		return RunStats{}, fmt.Errorf("%s (%d SPEs): %w", spec.Name, numSPEs, err)
+	}
+
+	st := RunStats{
+		Workload: spec.Name,
+		NumSPEs:  numSPEs,
+		Cycles:   machine.Machine.MaxClock(),
+		Checksum: int32(uint32(th.Result)),
+		GCs:      machine.GCCount,
+		EIBWait:  machine.Machine.EIB.WaitCycles,
+	}
+	st.Valid = st.Checksum == spec.Reference(threads, scale)
+	st.PPEInstrs = machine.Machine.PPE.Stats.Instrs
+
+	var busy [isa.NumClasses]uint64
+	var busyTotal, dHits, dMisses, cHits, cMisses uint64
+	for _, spe := range machine.Machine.SPEs {
+		for i, c := range spe.Stats.Cycles {
+			busy[i] += c
+			busyTotal += c
+		}
+		dHits += spe.Stats.DataHits
+		dMisses += spe.Stats.DataMisses
+		cHits += spe.Stats.CodeHits
+		cMisses += spe.Stats.CodeMisses
+		st.DMABytes += spe.Stats.DMABytes
+		st.SPEInstrs += spe.Stats.Instrs
+		st.Migrations += spe.Stats.MigrationsIn
+	}
+	if busyTotal > 0 {
+		for i := range busy {
+			st.SPEShares[i] = float64(busy[i]) / float64(busyTotal)
+		}
+	}
+	if dHits+dMisses > 0 {
+		st.DataHitRate = float64(dHits) / float64(dHits+dMisses)
+	} else {
+		st.DataHitRate = 1
+	}
+	if cHits+cMisses > 0 {
+		st.CodeHitRate = float64(cHits) / float64(cHits+cMisses)
+	} else {
+		st.CodeHitRate = 1
+	}
+	if inspect != nil {
+		inspect(machine)
+	}
+	return st, nil
+}

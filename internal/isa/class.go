@@ -1,0 +1,57 @@
+// Package isa defines the simulated machine-level instruction
+// representation shared by the PPE and SPE JIT backends, the operation
+// classes used for cycle accounting (the categories of the paper's
+// Figure 5), and the per-core cost tables that calibrate the simulator.
+//
+// Hera-JVM compiles Java bytecode to two different instruction sets (the
+// PPE's PowerPC ISA and the SPE's SPU ISA). This reproduction replaces
+// both with a single RISC-like semantic vocabulary (Op); the two backends
+// differ in instruction *selection* (how many instructions a bytecode
+// expands to, and which), in encoded size, and in cycle cost, which is
+// what the paper's evaluation is sensitive to.
+package isa
+
+// OpClass buckets executed cycles by the kind of work an instruction
+// performs. These are exactly the categories of Figure 5 of the paper
+// ("Proportion of cycles per operation type"): floating point, integer,
+// branch, stack, local memory and main memory.
+type OpClass uint8
+
+const (
+	// ClassInt covers integer and long ALU work.
+	ClassInt OpClass = iota
+	// ClassFloat covers float and double arithmetic and conversions.
+	ClassFloat
+	// ClassBranch covers control transfer: branches, switches, and the
+	// control portion of calls and returns.
+	ClassBranch
+	// ClassStack covers operand-stack and local-variable traffic
+	// (register/stack-frame movement in the compiled code).
+	ClassStack
+	// ClassLocalMem covers accesses satisfied by fast local memory: SPE
+	// local-store hits (software data/code cache hits) and PPE L1 hits.
+	ClassLocalMem
+	// ClassMainMem covers accesses that reach main memory: SPE DMA
+	// transfers (software cache misses) and PPE cache-miss traffic.
+	ClassMainMem
+
+	// NumClasses is the number of operation classes.
+	NumClasses = int(ClassMainMem) + 1
+)
+
+var classNames = [NumClasses]string{
+	"Integer",
+	"Floating Point",
+	"Branch",
+	"Stack",
+	"Local Memory",
+	"Main Memory",
+}
+
+// String returns the human-readable class name used in figure output.
+func (c OpClass) String() string {
+	if int(c) < NumClasses {
+		return classNames[c]
+	}
+	return "Unknown"
+}

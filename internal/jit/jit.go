@@ -1,0 +1,144 @@
+// Package jit implements Hera-JVM's baseline (non-optimising)
+// just-in-time compilers: one backend per core type, as in §3.1 of the
+// paper ("a Java bytecode to SPE machine code compiler is required to
+// support the SPE cores"). Each backend macro-expands bytecode into the
+// shared machine-instruction vocabulary with target-specific costs and
+// encoded sizes, and allocates the compiled code a real address and size
+// in simulated main memory so the SPE code cache has real, sized blocks
+// to DMA.
+//
+// Methods are compiled lazily per core type: "a method will only be
+// compiled for a particular core architecture if it is to be executed by
+// a thread running on that core type" (§3.1). The VM asks each target's
+// Compiler for a method the first time a thread running on that core
+// kind invokes it.
+package jit
+
+import (
+	"fmt"
+
+	"herajvm/internal/classfile"
+	"herajvm/internal/isa"
+	"herajvm/internal/mem"
+)
+
+// CompiledMethod is the result of baseline-compiling one method for one
+// core type.
+type CompiledMethod struct {
+	M      *classfile.Method
+	Target isa.CoreKind
+	// Code is the machine instruction sequence.
+	Code []isa.Instr
+	// Tables holds switch jump tables (targets as Code indices); Keys
+	// holds lookupswitch key sets, parallel to Tables.
+	Tables [][]int32
+	Keys   [][]int32
+	// Handlers is the exception table with ranges/targets as Code
+	// indexes; ClassID -1 catches everything.
+	Handlers []CompiledHandler
+	// Addr and Size locate the encoded code in simulated main memory.
+	Addr mem.Addr
+	Size uint32
+}
+
+// CompiledHandler is one lowered exception-table entry.
+type CompiledHandler struct {
+	From, To, Target int
+	ClassID          int
+}
+
+// Compiler is a per-target baseline compiler plus its compiled-code
+// registry.
+type Compiler struct {
+	target isa.CoreKind
+	costs  *isa.CostTable
+	main   *mem.Main
+	region *mem.Region
+
+	// InternString resolves a string literal to a heap reference at
+	// compile time (constant-pool resolution). Set by the VM before any
+	// method using BCConstStr is compiled.
+	InternString func(s string) (uint32, error)
+
+	compiled map[*classfile.Method]*CompiledMethod
+
+	// Compiles and CodeBytes describe total compilation activity; the
+	// paper argues per-core lazy compilation keeps this near
+	// single-architecture levels (§3.1), which reports can check.
+	Compiles  uint64
+	CodeBytes uint64
+}
+
+// NewCompiler builds a compiler for one core type, emitting code into
+// the given main-memory region.
+func NewCompiler(target isa.CoreKind, main *mem.Main, region *mem.Region) *Compiler {
+	return &Compiler{
+		target:   target,
+		costs:    isa.Costs(target),
+		main:     main,
+		region:   region,
+		compiled: make(map[*classfile.Method]*CompiledMethod),
+	}
+}
+
+// Target returns the compiler's core kind.
+func (c *Compiler) Target() isa.CoreKind { return c.target }
+
+// Costs exposes the backend cost table (the executor charges dynamic
+// branch penalties from it).
+func (c *Compiler) Costs() *isa.CostTable { return c.costs }
+
+// Lookup returns the compiled form if it exists, else nil.
+func (c *Compiler) Lookup(m *classfile.Method) *CompiledMethod {
+	return c.compiled[m]
+}
+
+// Compile returns the compiled form of m for this target, compiling on
+// first use.
+func (c *Compiler) Compile(m *classfile.Method) (*CompiledMethod, error) {
+	if cm, ok := c.compiled[m]; ok {
+		return cm, nil
+	}
+	if m.IsNative() || m.IsAbstract() {
+		return nil, fmt.Errorf("jit: cannot compile %s (native/abstract)", m.Sig())
+	}
+	if m.Code == nil {
+		return nil, fmt.Errorf("jit: %s has no bytecode", m.Sig())
+	}
+	cm, err := c.lower(m)
+	if err != nil {
+		return nil, err
+	}
+	// Allocate the code real space in main memory and fill it with a
+	// recognisable pattern: the code cache DMAs these bytes around.
+	addr, err := c.region.Alloc(cm.Size, 16)
+	if err != nil {
+		return nil, fmt.Errorf("jit: code region full compiling %s: %w", m.Sig(), err)
+	}
+	cm.Addr = addr
+	pattern := byte(0x40 | byte(c.target))
+	for i := uint32(0); i < cm.Size; i += 64 {
+		c.main.Write8(addr+i, pattern)
+	}
+	c.compiled[m] = cm
+	c.Compiles++
+	c.CodeBytes += uint64(cm.Size)
+	return cm, nil
+}
+
+// CompileCycles estimates the cycle cost of baseline-compiling m: the
+// VM charges it to the compiling core the first time a method is JITed
+// for a target.
+func (c *Compiler) CompileCycles(m *classfile.Method) uint64 {
+	return 800 + 40*uint64(len(m.Code))
+}
+
+// Disassemble renders the compiled code for debugging.
+func (cm *CompiledMethod) Disassemble() string {
+	s := fmt.Sprintf("%s [%v] %d instrs, %d bytes @%#x\n",
+		cm.M.Sig(), cm.Target, len(cm.Code), cm.Size, cm.Addr)
+	for i, in := range cm.Code {
+		s += fmt.Sprintf("%4d  %s\n", i, in)
+	}
+	return s
+}

@@ -1,0 +1,390 @@
+package jit
+
+import (
+	"fmt"
+
+	"herajvm/internal/classfile"
+	"herajvm/internal/isa"
+)
+
+// fixup records a pending branch-target patch (bytecode pc to machine
+// index) and tableFixup the same for one switch-table slot.
+type fixup struct {
+	instr int  // instruction to patch
+	field byte // 'A' or 'B'
+	bcPC  int  // bytecode target
+}
+
+type tableFixup struct {
+	table int
+	slot  int
+	bcPC  int
+}
+
+// lower macro-expands a method's bytecode into machine instructions for
+// the compiler's target, resolving symbolic references (fields to byte
+// offsets, methods to IDs/vtable slots, labels to instruction indices)
+// exactly as a baseline JIT resolves constant-pool entries at compile
+// time.
+func (c *Compiler) lower(m *classfile.Method) (*CompiledMethod, error) {
+	cm := &CompiledMethod{M: m, Target: c.target}
+	start := make([]int, len(m.Code)+1) // bytecode pc -> machine index
+
+	var fixups []fixup
+	var tableFixups []tableFixup
+
+	emit := func(in isa.Instr) int {
+		in.Cost = c.costs.OpCost[in.Op]
+		cm.Code = append(cm.Code, in)
+		return len(cm.Code) - 1
+	}
+	branchTo := func(idx int, field byte, l *classfile.Label) {
+		fixups = append(fixups, fixup{instr: idx, field: field, bcPC: l.PC()})
+	}
+
+	for pc := range m.Code {
+		bc := &m.Code[pc]
+		start[pc] = len(cm.Code)
+		if err := c.lowerOne(m, bc, emit, branchTo, &tableFixups, cm); err != nil {
+			return nil, fmt.Errorf("jit: %s pc %d (%v): %w", m.Sig(), pc, bc.Op, err)
+		}
+	}
+	start[len(m.Code)] = len(cm.Code)
+
+	for _, f := range fixups {
+		tgt := int32(start[f.bcPC])
+		if f.field == 'A' {
+			cm.Code[f.instr].A = tgt
+		} else {
+			cm.Code[f.instr].B = tgt
+		}
+	}
+	for _, f := range tableFixups {
+		cm.Tables[f.table][f.slot] = int32(start[f.bcPC])
+	}
+	for _, h := range m.Handlers {
+		classID := -1
+		if h.Type != nil {
+			classID = h.Type.ID
+		}
+		cm.Handlers = append(cm.Handlers, CompiledHandler{
+			From:    start[h.From],
+			To:      start[h.To],
+			Target:  start[h.Target],
+			ClassID: classID,
+		})
+	}
+
+	size := uint32(c.costs.MethodPrologueBytes)
+	for _, in := range cm.Code {
+		size += uint32(c.costs.OpSize[in.Op])
+	}
+	for _, tb := range cm.Tables {
+		size += uint32(len(tb)) * 4
+	}
+	size += uint32(len(m.Handlers)) * 16 // exception-table entries
+	cm.Size = size
+	return cm, nil
+}
+
+func (c *Compiler) lowerOne(m *classfile.Method, bc *classfile.BC,
+	emit func(isa.Instr) int, branchTo func(int, byte, *classfile.Label),
+	tableFixups *[]tableFixup, cm *CompiledMethod) error {
+
+	pushConst := func(w uint64, ref bool) {
+		in := isa.Instr{Op: isa.OpPushConst, A: int32(uint32(w)), B: int32(uint32(w >> 32))}
+		if ref {
+			in.C = 1
+		}
+		emit(in)
+	}
+	simple := func(op isa.Op) { emit(isa.Instr{Op: op}) }
+	condBranch := func(op isa.Op, cond int32, l *classfile.Label) {
+		idx := emit(isa.Instr{Op: op, A: cond})
+		branchTo(idx, 'B', l)
+	}
+	fieldFlags := func(f *classfile.Field) int32 {
+		var fl int32
+		if f.Volatile {
+			fl |= isa.FlagVolatile
+		}
+		if f.Type == classfile.Ref {
+			fl |= isa.FlagRef
+		}
+		return fl
+	}
+
+	switch bc.Op {
+	case classfile.BCNop:
+		simple(isa.OpNop)
+
+	case classfile.BCConstI:
+		pushConst(uint64(uint32(bc.A)), false)
+	case classfile.BCConstL, classfile.BCConstD, classfile.BCConstF:
+		pushConst(bc.W, false)
+	case classfile.BCConstNull:
+		pushConst(0, true)
+	case classfile.BCConstStr:
+		if c.InternString == nil {
+			return fmt.Errorf("no string interner registered")
+		}
+		ref, err := c.InternString(bc.S)
+		if err != nil {
+			return err
+		}
+		pushConst(uint64(ref), true)
+
+	case classfile.BCLoadI, classfile.BCLoadL, classfile.BCLoadF,
+		classfile.BCLoadD, classfile.BCLoadRef:
+		emit(isa.Instr{Op: isa.OpLoadLocal, A: bc.A})
+	case classfile.BCStoreI, classfile.BCStoreL, classfile.BCStoreF,
+		classfile.BCStoreD, classfile.BCStoreRef:
+		emit(isa.Instr{Op: isa.OpStoreLocal, A: bc.A})
+	case classfile.BCInc:
+		emit(isa.Instr{Op: isa.OpIncLocal, A: bc.A, B: bc.B})
+
+	case classfile.BCPop:
+		simple(isa.OpPop)
+	case classfile.BCPop2:
+		simple(isa.OpPop2)
+	case classfile.BCDup:
+		simple(isa.OpDup)
+	case classfile.BCDupX1:
+		simple(isa.OpDupX1)
+	case classfile.BCDupX2:
+		simple(isa.OpDupX2)
+	case classfile.BCDup2:
+		simple(isa.OpDup2)
+	case classfile.BCSwap:
+		simple(isa.OpSwap)
+
+	case classfile.BCAddI:
+		simple(isa.OpAddI)
+	case classfile.BCSubI:
+		simple(isa.OpSubI)
+	case classfile.BCMulI:
+		simple(isa.OpMulI)
+	case classfile.BCDivI:
+		simple(isa.OpDivI)
+	case classfile.BCRemI:
+		simple(isa.OpRemI)
+	case classfile.BCNegI:
+		simple(isa.OpNegI)
+	case classfile.BCShlI:
+		simple(isa.OpShlI)
+	case classfile.BCShrI:
+		simple(isa.OpShrI)
+	case classfile.BCUShrI:
+		simple(isa.OpUShrI)
+	case classfile.BCAndI:
+		simple(isa.OpAndI)
+	case classfile.BCOrI:
+		simple(isa.OpOrI)
+	case classfile.BCXorI:
+		simple(isa.OpXorI)
+
+	case classfile.BCAddL:
+		simple(isa.OpAddL)
+	case classfile.BCSubL:
+		simple(isa.OpSubL)
+	case classfile.BCMulL:
+		simple(isa.OpMulL)
+	case classfile.BCDivL:
+		simple(isa.OpDivL)
+	case classfile.BCRemL:
+		simple(isa.OpRemL)
+	case classfile.BCNegL:
+		simple(isa.OpNegL)
+	case classfile.BCShlL:
+		simple(isa.OpShlL)
+	case classfile.BCShrL:
+		simple(isa.OpShrL)
+	case classfile.BCUShrL:
+		simple(isa.OpUShrL)
+	case classfile.BCAndL:
+		simple(isa.OpAndL)
+	case classfile.BCOrL:
+		simple(isa.OpOrL)
+	case classfile.BCXorL:
+		simple(isa.OpXorL)
+	case classfile.BCCmpL:
+		simple(isa.OpCmpL)
+
+	case classfile.BCAddF:
+		simple(isa.OpAddF)
+	case classfile.BCSubF:
+		simple(isa.OpSubF)
+	case classfile.BCMulF:
+		simple(isa.OpMulF)
+	case classfile.BCDivF:
+		simple(isa.OpDivF)
+	case classfile.BCRemF:
+		simple(isa.OpRemF)
+	case classfile.BCNegF:
+		simple(isa.OpNegF)
+	case classfile.BCCmpFL:
+		emit(isa.Instr{Op: isa.OpCmpF, A: -1})
+	case classfile.BCCmpFG:
+		emit(isa.Instr{Op: isa.OpCmpF, A: 1})
+
+	case classfile.BCAddD:
+		simple(isa.OpAddD)
+	case classfile.BCSubD:
+		simple(isa.OpSubD)
+	case classfile.BCMulD:
+		simple(isa.OpMulD)
+	case classfile.BCDivD:
+		simple(isa.OpDivD)
+	case classfile.BCRemD:
+		simple(isa.OpRemD)
+	case classfile.BCNegD:
+		simple(isa.OpNegD)
+	case classfile.BCCmpDL:
+		emit(isa.Instr{Op: isa.OpCmpD, A: -1})
+	case classfile.BCCmpDG:
+		emit(isa.Instr{Op: isa.OpCmpD, A: 1})
+
+	case classfile.BCI2L:
+		simple(isa.OpI2L)
+	case classfile.BCI2F:
+		simple(isa.OpI2F)
+	case classfile.BCI2D:
+		simple(isa.OpI2D)
+	case classfile.BCL2I:
+		simple(isa.OpL2I)
+	case classfile.BCL2F:
+		simple(isa.OpL2F)
+	case classfile.BCL2D:
+		simple(isa.OpL2D)
+	case classfile.BCF2I:
+		simple(isa.OpF2I)
+	case classfile.BCF2L:
+		simple(isa.OpF2L)
+	case classfile.BCF2D:
+		simple(isa.OpF2D)
+	case classfile.BCD2I:
+		simple(isa.OpD2I)
+	case classfile.BCD2L:
+		simple(isa.OpD2L)
+	case classfile.BCD2F:
+		simple(isa.OpD2F)
+	case classfile.BCI2B:
+		simple(isa.OpI2B)
+	case classfile.BCI2C:
+		simple(isa.OpI2C)
+	case classfile.BCI2S:
+		simple(isa.OpI2S)
+
+	case classfile.BCGoto:
+		idx := emit(isa.Instr{Op: isa.OpGoto})
+		branchTo(idx, 'A', bc.Target)
+	case classfile.BCIfEQ:
+		condBranch(isa.OpIf, isa.CondEQ, bc.Target)
+	case classfile.BCIfNE:
+		condBranch(isa.OpIf, isa.CondNE, bc.Target)
+	case classfile.BCIfLT:
+		condBranch(isa.OpIf, isa.CondLT, bc.Target)
+	case classfile.BCIfGE:
+		condBranch(isa.OpIf, isa.CondGE, bc.Target)
+	case classfile.BCIfGT:
+		condBranch(isa.OpIf, isa.CondGT, bc.Target)
+	case classfile.BCIfLE:
+		condBranch(isa.OpIf, isa.CondLE, bc.Target)
+	case classfile.BCIfICmpEQ:
+		condBranch(isa.OpIfCmpI, isa.CondEQ, bc.Target)
+	case classfile.BCIfICmpNE:
+		condBranch(isa.OpIfCmpI, isa.CondNE, bc.Target)
+	case classfile.BCIfICmpLT:
+		condBranch(isa.OpIfCmpI, isa.CondLT, bc.Target)
+	case classfile.BCIfICmpGE:
+		condBranch(isa.OpIfCmpI, isa.CondGE, bc.Target)
+	case classfile.BCIfICmpGT:
+		condBranch(isa.OpIfCmpI, isa.CondGT, bc.Target)
+	case classfile.BCIfICmpLE:
+		condBranch(isa.OpIfCmpI, isa.CondLE, bc.Target)
+	case classfile.BCIfACmpEQ:
+		condBranch(isa.OpIfCmpRef, isa.CondEQ, bc.Target)
+	case classfile.BCIfACmpNE:
+		condBranch(isa.OpIfCmpRef, isa.CondNE, bc.Target)
+	case classfile.BCIfNull:
+		condBranch(isa.OpIfNull, 0, bc.Target)
+	case classfile.BCIfNonNull:
+		condBranch(isa.OpIfNull, 1, bc.Target)
+
+	case classfile.BCTableSwitch, classfile.BCLookupSwitch:
+		tblIdx := len(cm.Tables)
+		targets := make([]int32, len(bc.Table))
+		cm.Tables = append(cm.Tables, targets)
+		if bc.Op == classfile.BCLookupSwitch {
+			cm.Keys = append(cm.Keys, append([]int32(nil), bc.Keys...))
+		} else {
+			cm.Keys = append(cm.Keys, nil)
+		}
+		op := isa.OpTableSwitch
+		if bc.Op == classfile.BCLookupSwitch {
+			op = isa.OpLookupSwitch
+		}
+		idx := emit(isa.Instr{Op: op, A: bc.A, C: int32(tblIdx)})
+		branchTo(idx, 'B', bc.Target) // default
+		for slot, l := range bc.Table {
+			*tableFixups = append(*tableFixups, tableFixup{table: tblIdx, slot: slot, bcPC: l.PC()})
+		}
+
+	case classfile.BCGetField:
+		emit(isa.Instr{Op: isa.OpGetField, A: int32(isa.FieldOffset(bc.F.Slot)), B: fieldFlags(bc.F)})
+	case classfile.BCPutField:
+		emit(isa.Instr{Op: isa.OpPutField, A: int32(isa.FieldOffset(bc.F.Slot)), B: fieldFlags(bc.F)})
+	case classfile.BCGetStatic:
+		emit(isa.Instr{Op: isa.OpGetStatic, A: int32(bc.F.Slot), B: fieldFlags(bc.F)})
+	case classfile.BCPutStatic:
+		emit(isa.Instr{Op: isa.OpPutStatic, A: int32(bc.F.Slot), B: fieldFlags(bc.F)})
+
+	case classfile.BCNewArray:
+		emit(isa.Instr{Op: isa.OpNewArray, A: int32(bc.Kind)})
+	case classfile.BCANewArray:
+		emit(isa.Instr{Op: isa.OpANewArray, A: int32(bc.C.ID)})
+	case classfile.BCALoad:
+		emit(isa.Instr{Op: isa.OpALoad, A: int32(bc.Kind)})
+	case classfile.BCAStore:
+		emit(isa.Instr{Op: isa.OpAStore, A: int32(bc.Kind)})
+	case classfile.BCArrayLen:
+		simple(isa.OpArrayLen)
+
+	case classfile.BCNew:
+		emit(isa.Instr{Op: isa.OpNew, A: int32(bc.C.ID)})
+	case classfile.BCInvokeStatic:
+		emit(isa.Instr{Op: isa.OpCallStatic, A: int32(bc.M.ID)})
+	case classfile.BCInvokeSpecial:
+		emit(isa.Instr{Op: isa.OpCallSpecial, A: int32(bc.M.ID)})
+	case classfile.BCInvokeVirtual:
+		if bc.M.VSlot < 0 {
+			return fmt.Errorf("virtual call to unslotted %s", bc.M.Sig())
+		}
+		emit(isa.Instr{Op: isa.OpCallVirtual, A: int32(bc.M.VSlot), B: int32(bc.M.Class.ID)})
+	case classfile.BCInvokeInterface:
+		if bc.M.IfaceID < 0 {
+			return fmt.Errorf("interface call to %s without IfaceID", bc.M.Sig())
+		}
+		emit(isa.Instr{Op: isa.OpCallInterface, A: int32(bc.M.IfaceID)})
+	case classfile.BCInstanceOf:
+		emit(isa.Instr{Op: isa.OpInstanceOf, A: int32(bc.C.ID)})
+	case classfile.BCCheckCast:
+		emit(isa.Instr{Op: isa.OpCheckCast, A: int32(bc.C.ID)})
+
+	case classfile.BCReturn:
+		emit(isa.Instr{Op: isa.OpReturn, A: 1})
+	case classfile.BCReturnVoid:
+		emit(isa.Instr{Op: isa.OpReturn, A: 0})
+
+	case classfile.BCMonitorEnter:
+		simple(isa.OpMonitorEnter)
+	case classfile.BCMonitorExit:
+		simple(isa.OpMonitorExit)
+	case classfile.BCThrow:
+		simple(isa.OpThrow)
+
+	default:
+		return fmt.Errorf("unhandled bytecode")
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+// Package profile accumulates the cycle and event statistics the
+// experiments report: per-core cycles bucketed by operation class (the
+// paper's Figure 5 breakdown), software-cache hit rates (Figures 6 and
+// 7), DMA traffic, migrations and GC activity. It also holds per-method
+// counters used by the runtime-monitoring placement policy (§3, §6).
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"herajvm/internal/isa"
+)
+
+// CoreStats aggregates everything one simulated core did.
+type CoreStats struct {
+	// Cycles bucketed by operation class. Their sum is the busy time;
+	// Idle is time the core spent with no runnable thread.
+	Cycles [isa.NumClasses]uint64
+	Idle   uint64
+
+	// Instrs is the number of machine instructions retired.
+	Instrs uint64
+
+	// Data cache (SPE software cache or PPE L1/L2) events.
+	DataHits, DataMisses uint64
+	DataFlushes          uint64 // whole-cache flushes (SPE: cache filled)
+	DataPurges           uint64 // coherence purges at lock/volatile ops
+	DataWriteBacks       uint64 // dirty entries written back
+
+	// Code cache events (SPE only).
+	CodeHits, CodeMisses uint64
+	CodePurges           uint64
+	TIBHits, TIBMisses   uint64
+
+	// DMA traffic issued by this core's MFC.
+	DMATransfers uint64
+	DMABytes     uint64
+	DMAWait      uint64 // cycles stalled waiting on DMA completion
+
+	// Thread events.
+	MigrationsIn, MigrationsOut uint64
+	Syscalls                    uint64
+}
+
+// Busy returns the total busy cycles across all classes.
+func (s *CoreStats) Busy() uint64 {
+	var t uint64
+	for _, c := range s.Cycles {
+		t += c
+	}
+	return t
+}
+
+// Charge adds n cycles to the given class.
+func (s *CoreStats) Charge(class isa.OpClass, n uint64) {
+	s.Cycles[class] += n
+}
+
+// DataHitRate returns hits/(hits+misses), or 1 when there were no
+// accesses.
+func (s *CoreStats) DataHitRate() float64 {
+	return rate(s.DataHits, s.DataMisses)
+}
+
+// CodeHitRate returns the code-cache hit rate.
+func (s *CoreStats) CodeHitRate() float64 {
+	return rate(s.CodeHits, s.CodeMisses)
+}
+
+func rate(hits, misses uint64) float64 {
+	if hits+misses == 0 {
+		return 1
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// Add accumulates o into s.
+func (s *CoreStats) Add(o *CoreStats) {
+	for i := range s.Cycles {
+		s.Cycles[i] += o.Cycles[i]
+	}
+	s.Idle += o.Idle
+	s.Instrs += o.Instrs
+	s.DataHits += o.DataHits
+	s.DataMisses += o.DataMisses
+	s.DataFlushes += o.DataFlushes
+	s.DataPurges += o.DataPurges
+	s.DataWriteBacks += o.DataWriteBacks
+	s.CodeHits += o.CodeHits
+	s.CodeMisses += o.CodeMisses
+	s.CodePurges += o.CodePurges
+	s.TIBHits += o.TIBHits
+	s.TIBMisses += o.TIBMisses
+	s.DMATransfers += o.DMATransfers
+	s.DMABytes += o.DMABytes
+	s.DMAWait += o.DMAWait
+	s.MigrationsIn += o.MigrationsIn
+	s.MigrationsOut += o.MigrationsOut
+	s.Syscalls += o.Syscalls
+}
+
+// ClassShares returns each operation class's share of busy cycles, in
+// class order. This is a row of the paper's Figure 5.
+func (s *CoreStats) ClassShares() [isa.NumClasses]float64 {
+	var out [isa.NumClasses]float64
+	busy := s.Busy()
+	if busy == 0 {
+		return out
+	}
+	for i, c := range s.Cycles {
+		out[i] = float64(c) / float64(busy)
+	}
+	return out
+}
+
+// String formats a compact single-core report.
+func (s *CoreStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "busy=%d idle=%d instrs=%d", s.Busy(), s.Idle, s.Instrs)
+	fmt.Fprintf(&b, " dcache=%.3f ccache=%.3f dma=%dB",
+		s.DataHitRate(), s.CodeHitRate(), s.DMABytes)
+	return b.String()
+}
+
+// MethodCounters tracks per-method executed-cycle composition for the
+// runtime-monitoring placement policy: methods with a high floating-point
+// share are SPE candidates; methods dominated by main-memory cycles are
+// PPE candidates (§4's conclusion).
+type MethodCounters struct {
+	Cycles  [isa.NumClasses]uint64
+	Invokes uint64
+}
+
+// FPShare returns the floating-point share of the method's cycles.
+func (m *MethodCounters) FPShare() float64 {
+	var busy uint64
+	for _, c := range m.Cycles {
+		busy += c
+	}
+	if busy == 0 {
+		return 0
+	}
+	return float64(m.Cycles[isa.ClassFloat]) / float64(busy)
+}
+
+// MemShare returns the main-memory share of the method's cycles.
+func (m *MethodCounters) MemShare() float64 {
+	var busy uint64
+	for _, c := range m.Cycles {
+		busy += c
+	}
+	if busy == 0 {
+		return 0
+	}
+	return float64(m.Cycles[isa.ClassMainMem]) / float64(busy)
+}
+
+// Monitor aggregates per-method counters keyed by global method ID.
+type Monitor struct {
+	ByMethod map[int]*MethodCounters
+}
+
+// NewMonitor returns an empty monitor.
+func NewMonitor() *Monitor {
+	return &Monitor{ByMethod: make(map[int]*MethodCounters)}
+}
+
+// Counters returns (creating if needed) the counters for a method.
+func (mn *Monitor) Counters(methodID int) *MethodCounters {
+	c := mn.ByMethod[methodID]
+	if c == nil {
+		c = &MethodCounters{}
+		mn.ByMethod[methodID] = c
+	}
+	return c
+}
+
+// Hottest returns up to n method IDs ordered by total cycles, hottest
+// first. Used by reports and the monitoring placement policy.
+func (mn *Monitor) Hottest(n int) []int {
+	ids := make([]int, 0, len(mn.ByMethod))
+	for id := range mn.ByMethod {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		var a, b uint64
+		for _, c := range mn.ByMethod[ids[i]].Cycles {
+			a += c
+		}
+		for _, c := range mn.ByMethod[ids[j]].Cycles {
+			b += c
+		}
+		if a != b {
+			return a > b
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > n {
+		ids = ids[:n]
+	}
+	return ids
+}

@@ -1,0 +1,87 @@
+package vm
+
+import (
+	"herajvm/internal/cache"
+	"herajvm/internal/cell"
+	"herajvm/internal/isa"
+)
+
+// Adaptive cache sizing implements the paper's proposed future work:
+// "these results ... suggest that adaptive sizing of the code and data
+// caches would likely benefit many applications" (§4). When enabled,
+// each SPE periodically compares how often its software data and code
+// caches missed over the last window and shifts local-store budget
+// toward the needier cache. Resizing purges both caches (dirty data is
+// written back first), exactly like the flush-when-full path, so it is
+// always safe; it just costs a refill.
+
+// adaptState tracks one SPE's controller window.
+type adaptState struct {
+	lastCheck    cell.Clock
+	lastDataMiss uint64
+	lastCodeMiss uint64
+	resizes      uint64
+}
+
+// maybeAdapt runs the controller for an SPE core if its window expired.
+func (vm *VM) maybeAdapt(core *cell.Core) {
+	if !vm.Cfg.AdaptiveCaches || core.Kind != isa.SPE {
+		return
+	}
+	st := &vm.adapt[core.ID]
+	interval := vm.Cfg.AdaptiveIntervalCycles
+	if interval == 0 {
+		interval = 2_000_000
+	}
+	if core.Now-st.lastCheck < interval {
+		return
+	}
+	dMiss := core.Stats.DataMisses - st.lastDataMiss
+	cMiss := core.Stats.CodeMisses - st.lastCodeMiss
+	st.lastCheck = core.Now
+	st.lastDataMiss = core.Stats.DataMisses
+	st.lastCodeMiss = core.Stats.CodeMisses
+
+	step := uint32(vm.Cfg.AdaptiveStepKB) << 10
+	if step == 0 {
+		step = 16 << 10
+	}
+	minSize := uint32(16) << 10
+	dSize := vm.dcaches[core.ID].Config().Size
+	cSize := vm.ccaches[core.ID].Config().Size
+
+	// Both miss kinds cost roughly one DMA; shift toward the side that
+	// missed decisively more.
+	switch {
+	case dMiss > 2*cMiss && dMiss > 64 && cSize >= minSize+step:
+		vm.resizeSPECaches(core, dSize+step, cSize-step)
+		st.resizes++
+	case cMiss > 2*dMiss && cMiss > 64 && dSize >= minSize+step:
+		vm.resizeSPECaches(core, dSize-step, cSize+step)
+		st.resizes++
+	}
+}
+
+// resizeSPECaches rebuilds an SPE's software caches with a new split of
+// the same local-store region. Dirty data is written back first; both
+// caches restart cold.
+func (vm *VM) resizeSPECaches(core *cell.Core, dataSize, codeSize uint32) {
+	core.Now = vm.dcaches[core.ID].Purge(core.Now)
+	core.Charge(isa.ClassMainMem, 5000) // controller + remap overhead
+
+	dcfg := vm.dcaches[core.ID].Config()
+	dcfg.Size = dataSize
+	ccfg := vm.ccaches[core.ID].Config()
+	ccfg.Size = codeSize
+	vm.dcaches[core.ID] = cache.NewDataCache(dcfg, core, 0)
+	vm.ccaches[core.ID] = cache.NewCodeCache(ccfg, core, dataSize)
+}
+
+// AdaptiveResizes reports how many times SPE i's controller resized its
+// caches (for reports and tests).
+func (vm *VM) AdaptiveResizes(i int) uint64 { return vm.adapt[i].resizes }
+
+// CacheSplit returns SPE i's current (data, code) cache sizes in bytes.
+func (vm *VM) CacheSplit(i int) (uint32, uint32) {
+	return vm.dcaches[i].Config().Size, vm.ccaches[i].Config().Size
+}

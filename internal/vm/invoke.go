@@ -1,0 +1,155 @@
+package vm
+
+import (
+	"herajvm/internal/cell"
+	"herajvm/internal/classfile"
+	"herajvm/internal/isa"
+)
+
+// invoke transfers control from frame f (whose PC already points past
+// the call instruction) into callee. It handles native dispatch, the
+// placement-policy migration decision (with the paper's stack-marker
+// protocol), synchronized-method monitor acquisition and, on SPEs, the
+// code-cache lookup for the callee.
+func (vm *VM) invoke(core *cell.Core, t *Thread, f *Frame, callee *classfile.Method) error {
+	if callee.IsAbstract() {
+		return vm.trapAt(f, "AbstractMethodError", callee.Sig())
+	}
+	if callee.IsNative() {
+		return vm.invokeNative(core, t, f, callee)
+	}
+
+	// Placement decision: "migration occurs when invoking a method which
+	// has either been tagged by an annotation or selected by the
+	// scheduler" (§3.1).
+	desired := vm.policy.OnInvoke(vm, t, callee, core.Kind)
+	migrating := desired != core.Kind
+
+	cm, compileCycles, err := vm.compileFor(desired, callee)
+	if err != nil {
+		return vm.trapAt(f, "InternalError", err.Error())
+	}
+	if compileCycles > 0 {
+		// The JIT itself runs as runtime code on the invoking core.
+		core.Charge(isa.ClassInt, compileCycles)
+	}
+
+	nf := newFrame(cm)
+	nf.ctr = vm.Monitor.Counters(callee.ID)
+	vm.Monitor.Counters(callee.ID).Invokes++
+
+	// Pop arguments (receiver first in locals).
+	nargs := callee.ArgSlots()
+	for i := nargs - 1; i >= 0; i-- {
+		v, r := f.pop()
+		nf.Locals[i] = v
+		nf.LocalRefs[i] = r
+	}
+
+	// Synchronized methods lock the receiver (or the class lock).
+	if callee.IsSynchronized() {
+		var obj Ref
+		if callee.IsStatic() {
+			lock, err := vm.classLock(callee.Class)
+			if err != nil {
+				return vm.trapAt(f, "OutOfMemoryError", err.Error())
+			}
+			obj = lock
+		} else {
+			obj = Ref(nf.Locals[0])
+		}
+		nf.SyncObj = obj
+		cost := vm.compilers[core.Kind].Costs().OpCost[isa.OpMonitorEnter]
+		core.Charge(isa.ClassMainMem, uint64(cost))
+		if !vm.monitorEnter(core, t, obj) {
+			// Blocked: the frame is pushed; the monitor will be granted
+			// before the thread resumes.
+			t.pushFrame(nf)
+			t.needPurge = core.Kind == isa.SPE
+			if migrating {
+				// Keep it simple and correct: blocked synchronized calls
+				// complete the migration when granted.
+				t.pendingMigrate = desired
+				t.hasPendingMigrate = true
+			}
+			return nil
+		}
+	}
+
+	if migrating {
+		// Push the migration marker beneath the callee frame: returning
+		// to the marker migrates back (§3.1).
+		marker := &Frame{Marker: true, ReturnKind: core.Kind, ReturnCore: core.ID}
+		t.pushFrame(marker)
+		t.pushFrame(nf)
+		vm.migrate(core, t, desired, nargs)
+		return nil
+	}
+
+	t.pushFrame(nf)
+	if core.Kind == isa.SPE {
+		vm.ensureCode(core, cm)
+	}
+	return nil
+}
+
+// classLock returns (allocating on demand) the per-class lock object
+// used by static synchronized methods.
+func (vm *VM) classLock(c *classfile.Class) (Ref, error) {
+	meta := &vm.classes[c.ID]
+	if meta.lockObj == 0 {
+		obj, err := vm.allocObject(vm.Prog.Object)
+		if err != nil {
+			return 0, err
+		}
+		meta.lockObj = obj
+	}
+	return meta.lockObj, nil
+}
+
+// returnFrom pops the current frame and delivers the return value,
+// driving the migration-marker protocol and SPE return-path code-cache
+// lookups.
+func (vm *VM) returnFrom(core *cell.Core, t *Thread, val uint64, isRef, hasVal bool) {
+	f := t.popFrame()
+	if f.SyncObj != 0 {
+		cost := vm.compilers[core.Kind].Costs().OpCost[isa.OpMonitorExit]
+		core.Charge(isa.ClassMainMem, uint64(cost))
+		if err := vm.monitorExit(core, t, f.SyncObj); err != nil {
+			vm.trap(core, t, err)
+			return
+		}
+	}
+
+	if len(t.Frames) == 0 {
+		t.State = StateTerminated
+		t.Result = val
+		t.HasResult = hasVal
+		return
+	}
+
+	top := t.top()
+	if top.Marker {
+		// Return to the migration marker: migrate back to the origin
+		// core type, carrying the value (§3.1: "returns to the migration
+		// marker placed on the stack").
+		t.pendingVal = val
+		t.pendingIsRef = isRef
+		t.pendingHasVal = hasVal
+		words := 0
+		if hasVal {
+			words = 1
+		}
+		vm.migrate(core, t, top.ReturnKind, words)
+		return
+	}
+
+	if core.Kind == isa.SPE {
+		// The caller's code may have been purged while the callee ran:
+		// repeat the lookup (§3.2.2).
+		vm.reenterCode(core, top.CM)
+	}
+	if hasVal {
+		top.push(val, isRef)
+	}
+}

@@ -1,0 +1,240 @@
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/classfile"
+	"herajvm/internal/isa"
+)
+
+func f64bits(v float64) uint64 { return math.Float64bits(v) }
+
+// NativeKind classifies how a native method executes (§3.2.3).
+type NativeKind uint8
+
+const (
+	// NativeCompute runs in place on the current core (pure computation,
+	// e.g. java/lang/Math).
+	NativeCompute NativeKind = iota
+	// NativeSyscall is a runtime fast syscall: on an SPE it is shipped
+	// to the dedicated PPE service thread by mailbox message and the
+	// calling thread stalls for the round trip.
+	NativeSyscall
+	// NativeJNI migrates the thread to the PPE for the duration of the
+	// native method, then migrates back.
+	NativeJNI
+)
+
+// NativeFunc is a native method body. It runs Go-side; costs are charged
+// by the dispatcher plus whatever the body adds via ctx.Charge.
+type NativeFunc func(ctx *NativeCtx) error
+
+// Native describes one registered native method.
+type Native struct {
+	Kind NativeKind
+	// Cycles is the compute cost on the PPE; SPECycles overrides it on
+	// SPEs when nonzero.
+	Cycles    uint64
+	SPECycles uint64
+	// Class is the operation class the compute cost is billed to.
+	Class isa.OpClass
+	Fn    NativeFunc
+}
+
+// NativeCtx is the environment passed to a native body.
+type NativeCtx struct {
+	VM     *VM
+	Core   *cell.Core
+	Thread *Thread
+	Method *classfile.Method
+	// Args holds the arguments, receiver first for instance methods.
+	Args    []uint64
+	ArgRefs []bool
+
+	retVal uint64
+	retRef bool
+	hasRet bool
+}
+
+// ReturnI sets an int return value; the other Return helpers follow.
+func (c *NativeCtx) ReturnI(v int32) { c.retVal, c.retRef, c.hasRet = uint64(uint32(v)), false, true }
+
+// ReturnL sets a long return value.
+func (c *NativeCtx) ReturnL(v int64) { c.retVal, c.retRef, c.hasRet = uint64(v), false, true }
+
+// ReturnD sets a double return value.
+func (c *NativeCtx) ReturnD(v float64) {
+	c.retVal, c.retRef, c.hasRet = f64bits(v), false, true
+}
+
+// ReturnRef sets a reference return value.
+func (c *NativeCtx) ReturnRef(r Ref) { c.retVal, c.retRef, c.hasRet = uint64(r), true, true }
+
+// Charge bills extra cycles to the calling core (for natives whose cost
+// depends on their arguments, e.g. System.arraycopy).
+func (c *NativeCtx) Charge(class isa.OpClass, n uint64) { c.Core.Charge(class, n) }
+
+// RegisterNative installs (or overrides) a native implementation by tag
+// ("Class.method"). Applications can register their own natives before
+// running, e.g. to model accelerator calls.
+func (vm *VM) RegisterNative(tag string, n *Native) { vm.natives[tag] = n }
+
+// pendingNativeCall carries a JNI native across the SPE->PPE migration.
+type pendingNativeCall struct {
+	native *Native
+	ctx    *NativeCtx
+	callee *classfile.Method
+}
+
+// invokeNative dispatches a native method call from frame f.
+func (vm *VM) invokeNative(core *cell.Core, t *Thread, f *Frame, callee *classfile.Method) error {
+	n := vm.natives[callee.NativeTag]
+	if n == nil {
+		return vm.trapAt(f, "UnsatisfiedLinkError", callee.NativeTag)
+	}
+	nargs := callee.ArgSlots()
+	args := make([]uint64, nargs)
+	argRefs := make([]bool, nargs)
+	for i := nargs - 1; i >= 0; i-- {
+		args[i], argRefs[i] = f.pop()
+	}
+	ctx := &NativeCtx{VM: vm, Core: core, Thread: t, Method: callee, Args: args, ArgRefs: argRefs}
+
+	switch n.Kind {
+	case NativeCompute:
+		return vm.runComputeNative(core, t, f, callee, n, ctx)
+
+	case NativeSyscall:
+		core.Stats.Syscalls++
+		if core.Kind == isa.SPE {
+			// Mailbox message to the dedicated PPE service thread
+			// (§3.2.3): the SPE thread stalls for the round trip; the
+			// service serialises concurrent requests.
+			arrive := core.Now + vm.Cfg.SyscallSendCycles
+			start := arrive
+			if vm.ppeSvcBusy > start {
+				start = vm.ppeSvcBusy
+			}
+			done := start + vm.Cfg.SyscallServeCycles
+			vm.ppeSvcBusy = done
+			vm.Machine.PPE.Stats.Syscalls++
+			if err := n.Fn(ctx); err != nil {
+				return vm.nativeTrap(f, callee, err)
+			}
+			vm.pushNativeResult(f, callee, ctx)
+			t.ReadyAt = done + vm.Cfg.SyscallSendCycles
+			vm.enqueue(t) // thread stalls until the reply arrives
+			return nil
+		}
+		core.Charge(isa.ClassBranch, vm.Cfg.SyscallServeCycles)
+		if err := n.Fn(ctx); err != nil {
+			return vm.nativeTrap(f, callee, err)
+		}
+		vm.pushNativeResult(f, callee, ctx)
+		return nil
+
+	case NativeJNI:
+		if core.Kind == isa.SPE {
+			// "In the case of a JNI method, the thread is migrated to
+			// the PPE core for the duration of the native method"
+			// (§3.2.3).
+			t.pushFrame(&Frame{Marker: true, ReturnKind: core.Kind, ReturnCore: core.ID})
+			t.pendingNative = &pendingNativeCall{native: n, ctx: ctx, callee: callee}
+			vm.migrate(core, t, isa.PPE, nargs)
+			return nil
+		}
+		return vm.runComputeNative(core, t, f, callee, n, ctx)
+	}
+	return vm.trapAt(f, "InternalError", fmt.Sprintf("bad native kind %d", n.Kind))
+}
+
+// runComputeNative charges and executes a native in place.
+func (vm *VM) runComputeNative(core *cell.Core, t *Thread, f *Frame,
+	callee *classfile.Method, n *Native, ctx *NativeCtx) error {
+
+	cycles := n.Cycles
+	if core.Kind == isa.SPE && n.SPECycles != 0 {
+		cycles = n.SPECycles
+	}
+	core.Charge(n.Class, cycles)
+	if err := n.Fn(ctx); err != nil {
+		return vm.nativeTrap(f, callee, err)
+	}
+	if t.State != StateRunning {
+		// The native blocked the thread (join/wait): no result to push
+		// (blocking natives are void).
+		return nil
+	}
+	vm.pushNativeResult(f, callee, ctx)
+	return nil
+}
+
+// resumePendingNative completes a JNI native after the thread arrived on
+// the PPE, then migrates it back with the result.
+func (vm *VM) resumePendingNative(core *cell.Core, t *Thread) {
+	p := t.pendingNative
+	t.pendingNative = nil
+	p.ctx.Core = core
+	core.Charge(p.native.Class, p.native.Cycles)
+	if err := p.native.Fn(p.ctx); err != nil {
+		vm.trap(core, t, err)
+		return
+	}
+	if t.State != StateRunning {
+		return
+	}
+	// The migration marker is on top; carry the value back. The
+	// executor's marker handling pushes it into the caller.
+	t.pendingVal = p.ctx.retVal
+	t.pendingIsRef = p.ctx.retRef
+	t.pendingHasVal = p.ctx.hasRet || p.callee.Ret != classfile.Void
+	if !p.ctx.hasRet && p.callee.Ret == classfile.Void {
+		t.pendingHasVal = false
+	}
+	marker := t.top()
+	words := 0
+	if t.pendingHasVal {
+		words = 1
+	}
+	vm.migrate(core, t, marker.ReturnKind, words)
+}
+
+// pushNativeResult pushes the declared return value (zero if the body
+// set none).
+func (vm *VM) pushNativeResult(f *Frame, callee *classfile.Method, ctx *NativeCtx) {
+	if callee.Ret == classfile.Void {
+		return
+	}
+	f.push(ctx.retVal, ctx.retRef)
+}
+
+func (vm *VM) nativeTrap(f *Frame, callee *classfile.Method, err error) error {
+	if te, ok := err.(*TrapError); ok {
+		if te.Method == "" {
+			te.Method = callee.Sig()
+		}
+		return te
+	}
+	return vm.trapAt(f, "InternalError", err.Error())
+}
+
+// GoString reads a java/lang/String into a Go string (runtime-internal,
+// no cycle cost: used by natives that already charged their cost).
+func (vm *VM) GoString(s Ref) string {
+	if s == 0 {
+		return "<null>"
+	}
+	cls := vm.classOf(s)
+	if cls != vm.stringCls || cls == nil {
+		return fmt.Sprintf("<obj %#x>", s)
+	}
+	arr := Ref(vm.Heap.FieldSlot(s, cls.FieldByName("value").Slot))
+	count := uint32(vm.Heap.FieldSlot(s, cls.FieldByName("count").Slot))
+	buf := make([]byte, count)
+	for i := uint32(0); i < count; i++ {
+		buf[i] = byte(vm.Machine.Mem.Read16(arr + isa.HeaderBytes + i*2))
+	}
+	return string(buf)
+}

@@ -1,0 +1,144 @@
+package vm
+
+import (
+	"herajvm/internal/classfile"
+	"herajvm/internal/isa"
+)
+
+// Policy decides thread placement: where new threads start and whether a
+// method invocation should migrate the calling thread to the other core
+// type. This is the paper's central control point — "the runtime system
+// transparently maps application threads to the underlying heterogeneous
+// core types, using information about each thread's behaviour (either
+// through code annotations or runtime monitoring)".
+type Policy interface {
+	// PlaceThread chooses the core kind for a newly started thread whose
+	// entry method is m.
+	PlaceThread(vm *VM, m *classfile.Method) isa.CoreKind
+	// OnInvoke chooses the core kind on which callee should execute;
+	// returning a kind different from cur requests a migration.
+	OnInvoke(vm *VM, t *Thread, callee *classfile.Method, cur isa.CoreKind) isa.CoreKind
+}
+
+// AnnotationPolicy is the paper's annotation-hint scheme (§3): explicit
+// RunOnSPE/RunOnPPE placement, with FloatIntensive treated as an SPE
+// hint and MemoryIntensive as a PPE hint. Unannotated code stays where
+// it is.
+type AnnotationPolicy struct{}
+
+// PlaceThread places annotated entry methods accordingly; unannotated
+// threads start on the PPE (the general-purpose, OS-capable core).
+func (AnnotationPolicy) PlaceThread(vm *VM, m *classfile.Method) isa.CoreKind {
+	if k, ok := annotationKind(vm, m); ok {
+		return k
+	}
+	return isa.PPE
+}
+
+// OnInvoke migrates on annotated methods only.
+func (AnnotationPolicy) OnInvoke(vm *VM, t *Thread, callee *classfile.Method, cur isa.CoreKind) isa.CoreKind {
+	if k, ok := annotationKind(vm, callee); ok {
+		return k
+	}
+	return cur
+}
+
+func annotationKind(vm *VM, m *classfile.Method) (isa.CoreKind, bool) {
+	if len(vm.Machine.SPEs) == 0 {
+		return isa.PPE, m.Annotations[classfile.AnnRunOnPPE]
+	}
+	switch {
+	case m.Annotations[classfile.AnnRunOnSPE], m.Annotations[classfile.AnnFloatIntensive]:
+		return isa.SPE, true
+	case m.Annotations[classfile.AnnRunOnPPE], m.Annotations[classfile.AnnMemoryIntensive]:
+		return isa.PPE, true
+	}
+	return isa.PPE, false
+}
+
+// FixedPolicy pins every thread to one core kind and never migrates.
+// The experiment harness uses it to reproduce Figure 4's "run entirely
+// on the PPE" / "run entirely on N SPEs" configurations.
+type FixedPolicy struct {
+	Kind isa.CoreKind
+}
+
+// PlaceThread returns the fixed kind.
+func (p FixedPolicy) PlaceThread(vm *VM, m *classfile.Method) isa.CoreKind {
+	if p.Kind == isa.SPE && len(vm.Machine.SPEs) == 0 {
+		return isa.PPE
+	}
+	return p.Kind
+}
+
+// OnInvoke never migrates.
+func (p FixedPolicy) OnInvoke(vm *VM, t *Thread, callee *classfile.Method, cur isa.CoreKind) isa.CoreKind {
+	return cur
+}
+
+// MonitoringPolicy implements the paper's proposed runtime-monitoring
+// placement (§6): it watches per-method cycle composition gathered by
+// the profiler and migrates threads into methods whose observed
+// behaviour clearly favours one core type. Methods need MinCycles of
+// observation before a decision is made; annotated methods still win.
+type MonitoringPolicy struct {
+	// FPThreshold is the floating-point cycle share above which a method
+	// is an SPE candidate; MemThreshold the main-memory share above
+	// which it is a PPE candidate.
+	FPThreshold  float64
+	MemThreshold float64
+	MinCycles    uint64
+}
+
+// DefaultMonitoringPolicy returns thresholds matched to the paper's
+// Figure 5 analysis (mandelbrot ~40%+ FP -> SPE; compress' dominant
+// main-memory share -> PPE).
+func DefaultMonitoringPolicy() *MonitoringPolicy {
+	return &MonitoringPolicy{FPThreshold: 0.25, MemThreshold: 0.45, MinCycles: 100000}
+}
+
+// PlaceThread starts threads on the PPE until monitoring says otherwise.
+func (p *MonitoringPolicy) PlaceThread(vm *VM, m *classfile.Method) isa.CoreKind {
+	if k, ok := annotationKind(vm, m); ok {
+		return k
+	}
+	if k, ok := p.observedKind(vm, m); ok {
+		return k
+	}
+	return isa.PPE
+}
+
+// OnInvoke consults annotations first, then observed behaviour.
+func (p *MonitoringPolicy) OnInvoke(vm *VM, t *Thread, callee *classfile.Method, cur isa.CoreKind) isa.CoreKind {
+	if k, ok := annotationKind(vm, callee); ok {
+		return k
+	}
+	if k, ok := p.observedKind(vm, callee); ok {
+		return k
+	}
+	return cur
+}
+
+func (p *MonitoringPolicy) observedKind(vm *VM, m *classfile.Method) (isa.CoreKind, bool) {
+	if len(vm.Machine.SPEs) == 0 {
+		return isa.PPE, false
+	}
+	c := vm.Monitor.ByMethod[m.ID]
+	if c == nil {
+		return isa.PPE, false
+	}
+	var total uint64
+	for _, cy := range c.Cycles {
+		total += cy
+	}
+	if total < p.MinCycles {
+		return isa.PPE, false
+	}
+	if c.FPShare() >= p.FPThreshold {
+		return isa.SPE, true
+	}
+	if c.MemShare() >= p.MemThreshold {
+		return isa.PPE, true
+	}
+	return isa.PPE, false
+}

@@ -1,0 +1,306 @@
+package vm
+
+import (
+	"fmt"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/classfile"
+	"herajvm/internal/isa"
+	"herajvm/internal/jit"
+)
+
+// compileFor returns m compiled for kind, compiling lazily; the second
+// result is the compile cost in cycles when a fresh compile happened
+// ("a method will only be compiled for a particular core architecture if
+// it is to be executed by a thread running on that core type", §3.1).
+func (vm *VM) compileFor(kind isa.CoreKind, m *classfile.Method) (*jit.CompiledMethod, uint64, error) {
+	c := vm.compilers[kind]
+	if cm := c.Lookup(m); cm != nil {
+		return cm, 0, nil
+	}
+	cm, err := c.Compile(m)
+	if err != nil {
+		return nil, 0, err
+	}
+	return cm, c.CompileCycles(m), nil
+}
+
+// newThread creates a thread without scheduling it.
+func (vm *VM) newThread(name string) *Thread {
+	t := &Thread{ID: vm.nextTID, Name: name}
+	vm.nextTID++
+	vm.threads = append(vm.threads, t)
+	vm.liveCount++
+	return t
+}
+
+// enqueue places a ready thread on its core's queue.
+func (vm *VM) enqueue(t *Thread) {
+	t.State = StateReady
+	q := queueIndex(t.Kind, t.CoreID)
+	vm.runq[q] = append(vm.runq[q], t)
+}
+
+// pickSPE chooses the SPE with the lightest queue (ties: earliest local
+// clock) for a thread entering the SPE pool.
+func (vm *VM) pickSPE() int {
+	best := 0
+	bestLoad := len(vm.runq[queueIndex(isa.SPE, 0)])
+	bestClock := vm.Machine.SPEs[0].Now
+	for i := 1; i < len(vm.Machine.SPEs); i++ {
+		load := len(vm.runq[queueIndex(isa.SPE, i)])
+		clock := vm.Machine.SPEs[i].Now
+		if load < bestLoad || (load == bestLoad && clock < bestClock) {
+			best, bestLoad, bestClock = i, load, clock
+		}
+	}
+	return best
+}
+
+// place assigns a thread a core of the given kind.
+func (vm *VM) place(t *Thread, kind isa.CoreKind) {
+	if kind == isa.SPE && len(vm.Machine.SPEs) == 0 {
+		kind = isa.PPE
+	}
+	t.Kind = kind
+	if kind == isa.PPE {
+		t.CoreID = 0
+	} else {
+		t.CoreID = vm.pickSPE()
+		t.needEnsure = true
+	}
+}
+
+// StartThread schedules a new Java thread whose first frame invokes
+// entry with the given arguments (receiver first for instance methods).
+// readyAt is the simulated time the thread becomes runnable.
+func (vm *VM) StartThread(name string, entry *classfile.Method, readyAt cell.Clock,
+	args []uint64, argRefs []bool) (*Thread, error) {
+
+	t := vm.newThread(name)
+	kind := vm.policy.PlaceThread(vm, entry)
+	vm.place(t, kind)
+	cm, compileCycles, err := vm.compileFor(t.Kind, entry)
+	if err != nil {
+		return nil, err
+	}
+	f := newFrame(cm)
+	f.ctr = vm.Monitor.Counters(entry.ID)
+	f.ctr.Invokes++
+	if len(args) > len(f.Locals) {
+		return nil, fmt.Errorf("vm: %d args exceed %d locals of %s", len(args), len(f.Locals), entry.Sig())
+	}
+	copy(f.Locals, args)
+	for i, r := range argRefs {
+		f.LocalRefs[i] = r
+	}
+	t.pushFrame(f)
+	t.ReadyAt = readyAt + compileCycles
+	vm.enqueue(t)
+	return t, nil
+}
+
+// RunMain compiles and runs the static entry method to completion,
+// driving the whole machine. It returns the entry thread (whose Result
+// holds any return value) and an error if any thread trapped or the
+// machine deadlocked.
+func (vm *VM) RunMain(className, methodName string) (*Thread, error) {
+	cls := vm.Prog.Lookup(className)
+	if cls == nil {
+		return nil, fmt.Errorf("vm: no class %q", className)
+	}
+	m := cls.MethodByName(methodName)
+	if m == nil {
+		return nil, fmt.Errorf("vm: no method %s.%s", className, methodName)
+	}
+	if !m.IsStatic() {
+		return nil, fmt.Errorf("vm: entry %s must be static", m.Sig())
+	}
+	main, err := vm.StartThread("main", m, 0, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := vm.Run(); err != nil {
+		return main, err
+	}
+	return main, main.Trap
+}
+
+// Run drives the machine until every thread terminates. The machine is
+// advanced conservatively: each step runs one quantum on the core whose
+// next available work has the smallest timestamp, so multi-core
+// interleaving and bus contention are deterministic.
+func (vm *VM) Run() error {
+	for vm.liveCount > 0 {
+		core, t := vm.pickNext()
+		if t == nil {
+			return vm.deadlockError()
+		}
+		core.AdvanceTo(t.ReadyAt)
+		t.State = StateRunning
+		vm.maybeAdapt(core)
+		if t.hasPendingMigrate {
+			t.hasPendingMigrate = false
+			if t.pendingMigrate != core.Kind {
+				// Complete a migration deferred by a blocked synchronized
+				// call: insert the marker beneath the callee frame.
+				nf := t.popFrame()
+				t.pushFrame(&Frame{Marker: true, ReturnKind: core.Kind, ReturnCore: core.ID})
+				t.pushFrame(nf)
+				vm.migrate(core, t, t.pendingMigrate, 0)
+				continue
+			}
+		}
+		if t.needPurge {
+			t.needPurge = false
+			if core.Kind == isa.SPE {
+				core.Now = vm.dcaches[core.ID].Purge(core.Now)
+			}
+		}
+		if t.needEnsure {
+			t.needEnsure = false
+			vm.ensureTopFrame(core, t)
+		}
+		if t.hasPendingThrow {
+			// Continue unwinding an exception that crossed a migration
+			// boundary; the first frame examined is a caller, so its PC
+			// already points past the migrated call.
+			ex := t.pendingThrow
+			t.hasPendingThrow = false
+			t.pendingThrow = 0
+			if !vm.dispatchThrow(core, t, ex, 1) {
+				name := "Throwable"
+				if cls := vm.classOf(ex); cls != nil {
+					name = cls.Name
+				}
+				vm.trap(core, t, &TrapError{Kind: name, Detail: vm.throwableMessage(ex)})
+			}
+			if t.State != StateRunning {
+				if t.State == StateTerminated {
+					vm.finishThread(core, t)
+				}
+				continue
+			}
+		}
+		if t.pendingNative != nil {
+			vm.resumePendingNative(core, t)
+			if t.State != StateRunning {
+				continue
+			}
+		}
+		vm.execute(core, t, vm.Cfg.Quantum)
+		switch t.State {
+		case StateRunning: // quantum expired: back of the queue
+			vm.enqueue(t)
+		case StateTerminated:
+			vm.finishThread(core, t)
+		}
+		// Blocked/Ready threads were re-queued by whatever blocked them.
+	}
+	var firstTrap error
+	for _, t := range vm.threads {
+		if t.Trap != nil {
+			firstTrap = t.Trap
+			break
+		}
+	}
+	return firstTrap
+}
+
+// pickNext selects the (core, thread) pair with the earliest feasible
+// start time.
+func (vm *VM) pickNext() (*cell.Core, *Thread) {
+	var bestCore *cell.Core
+	var bestThread *Thread
+	var bestQueue int
+	var bestIdx int
+	var bestTime cell.Clock
+
+	consider := func(core *cell.Core, q int) {
+		for i, t := range vm.runq[q] {
+			start := core.Now
+			if t.ReadyAt > start {
+				start = t.ReadyAt
+			}
+			if bestThread == nil || start < bestTime {
+				bestCore, bestThread, bestQueue, bestIdx, bestTime = core, t, q, i, start
+			}
+		}
+	}
+	consider(vm.Machine.PPE, 0)
+	for i, spe := range vm.Machine.SPEs {
+		consider(spe, 1+i)
+	}
+	if bestThread != nil {
+		vm.runq[bestQueue] = append(vm.runq[bestQueue][:bestIdx], vm.runq[bestQueue][bestIdx+1:]...)
+	}
+	return bestCore, bestThread
+}
+
+func (vm *VM) deadlockError() error {
+	blocked := 0
+	for _, t := range vm.threads {
+		if t.State == StateBlocked {
+			blocked++
+		}
+	}
+	return fmt.Errorf("vm: deadlock: %d live threads, %d blocked, none runnable",
+		vm.liveCount, blocked)
+}
+
+// finishThread retires a terminated thread and wakes its joiners.
+func (vm *VM) finishThread(core *cell.Core, t *Thread) {
+	vm.liveCount--
+	for _, j := range t.joiners {
+		j.State = StateReady
+		j.ReadyAt = core.Now + 100
+		vm.enqueue(j)
+	}
+	t.joiners = nil
+}
+
+// migrate moves t to the other core type after the current instruction,
+// charging the parameter-packaging and transfer cost (§3.1). The caller
+// must already have pushed the migration marker (for call-site
+// migrations) or arranged the frame stack appropriately.
+func (vm *VM) migrate(core *cell.Core, t *Thread, target isa.CoreKind, words int) {
+	cost := vm.Cfg.MigrationBaseCycles + vm.Cfg.MigrationWordCycles*uint64(words)
+	core.Stats.MigrationsOut++
+	t.Migrations++
+	vm.place(t, target)
+	vm.coreFor(t.Kind, t.CoreID).Stats.MigrationsIn++
+	t.ReadyAt = core.Now + cost
+	t.State = StateReady
+	vm.enqueue(t)
+}
+
+// ensureTopFrame warms the SPE code cache for the method about to
+// execute (invoked when a thread lands on an SPE core).
+func (vm *VM) ensureTopFrame(core *cell.Core, t *Thread) {
+	if core.Kind != isa.SPE || len(t.Frames) == 0 {
+		return
+	}
+	f := t.top()
+	if f.Marker || f.CM == nil {
+		return
+	}
+	vm.ensureCode(core, f.CM)
+}
+
+// ensureCode runs the TOC/TIB/method lookup on an SPE for a compiled
+// method, transferring code on a miss.
+func (vm *VM) ensureCode(core *cell.Core, cm *jit.CompiledMethod) {
+	cls := cm.M.Class
+	meta := vm.classes[cls.ID]
+	now, _ := vm.ccaches[core.ID].EnsureMethod(core.Now, cls.ID, meta.tibAddr, meta.tibSize,
+		cm.M.ID, cm.Addr, cm.Size)
+	core.Now = now
+}
+
+// reenterCode charges the SPE return-path lookup for the caller frame.
+func (vm *VM) reenterCode(core *cell.Core, cm *jit.CompiledMethod) {
+	cls := cm.M.Class
+	meta := vm.classes[cls.ID]
+	core.Now = vm.ccaches[core.ID].Reenter(core.Now, cls.ID, meta.tibAddr, meta.tibSize,
+		cm.M.ID, cm.Addr, cm.Size)
+}

@@ -1,0 +1,181 @@
+package vm
+
+import (
+	"fmt"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/isa"
+	"herajvm/internal/jit"
+	"herajvm/internal/profile"
+)
+
+// ThreadState is a Java thread's lifecycle state.
+type ThreadState uint8
+
+const (
+	// StateReady means runnable, sitting in a core's ready queue.
+	StateReady ThreadState = iota
+	// StateRunning means currently executing on a core.
+	StateRunning
+	// StateBlocked means parked on a monitor or join/wait set or an
+	// in-flight syscall.
+	StateBlocked
+	// StateTerminated means the root method returned or a trap killed
+	// the thread.
+	StateTerminated
+)
+
+var stateNames = [...]string{"ready", "running", "blocked", "terminated"}
+
+// String returns the state name.
+func (s ThreadState) String() string { return stateNames[s] }
+
+// Frame is one method activation: locals and operand stack with parallel
+// reference maps (the executor maintains them so the GC can scan stacks
+// precisely, as JikesRVM's baseline compiler reference maps do).
+//
+// A frame with Marker set is a migration marker (§3.1): it records the
+// core kind to return to, and holds no code.
+type Frame struct {
+	CM *jit.CompiledMethod
+	PC int
+
+	Locals    []uint64
+	LocalRefs []bool
+	Stack     []uint64
+	StackRefs []bool
+	SP        int
+
+	// SyncObj is the monitor released on return from a synchronized
+	// method (0 = none).
+	SyncObj Ref
+
+	// ctr accumulates this method's cycle composition for the
+	// runtime-monitoring placement policy.
+	ctr *profile.MethodCounters
+
+	// Marker marks a migration point; ReturnKind and ReturnCore say
+	// where the thread migrates back to when the callee returns.
+	Marker     bool
+	ReturnKind isa.CoreKind
+	ReturnCore int
+}
+
+func newFrame(cm *jit.CompiledMethod) *Frame {
+	m := cm.M
+	nl := m.MaxLocals
+	ns := m.MaxStack
+	if ns < 4 {
+		ns = 4
+	}
+	return &Frame{
+		CM:        cm,
+		Locals:    make([]uint64, nl),
+		LocalRefs: make([]bool, nl),
+		Stack:     make([]uint64, ns),
+		StackRefs: make([]bool, ns),
+	}
+}
+
+func (f *Frame) push(v uint64, isRef bool) {
+	if f.SP == len(f.Stack) {
+		// The verifier bounds MaxStack; growing indicates an executor bug
+		// for bytecode methods, but native glue frames may push results.
+		f.Stack = append(f.Stack, 0)
+		f.StackRefs = append(f.StackRefs, false)
+	}
+	f.Stack[f.SP] = v
+	f.StackRefs[f.SP] = isRef
+	f.SP++
+}
+
+func (f *Frame) pop() (uint64, bool) {
+	f.SP--
+	return f.Stack[f.SP], f.StackRefs[f.SP]
+}
+
+// Thread is one Java thread: a stack of frames plus scheduling state.
+type Thread struct {
+	ID     int
+	Name   string
+	Frames []*Frame
+	State  ThreadState
+
+	// JavaObj is the java/lang/Thread instance this thread executes (0
+	// for the primordial main thread until stdlib wires it).
+	JavaObj Ref
+
+	// Kind and CoreID say where the thread runs / is queued.
+	Kind   isa.CoreKind
+	CoreID int
+	// ReadyAt is the simulated time the thread may next run.
+	ReadyAt cell.Clock
+
+	// Pending return value transferred across a migration boundary.
+	pendingVal    uint64
+	pendingIsRef  bool
+	pendingHasVal bool
+
+	// needEnsure requests a code-cache ensure of the top frame before
+	// resuming (set when a thread lands on an SPE).
+	needEnsure bool
+	// needPurge requests an acquire-purge of the SPE data cache before
+	// resuming (set when a monitor was granted while the thread was
+	// blocked).
+	needPurge bool
+	// pendingMigrate defers a placement decision that could not be acted
+	// on immediately (blocked synchronized call at a migration point).
+	pendingMigrate    isa.CoreKind
+	hasPendingMigrate bool
+	// pendingNative carries a JNI native across the SPE->PPE migration.
+	pendingNative *pendingNativeCall
+	// pendingThrow carries an in-flight exception across a migration
+	// boundary during unwinding.
+	pendingThrow    Ref
+	hasPendingThrow bool
+
+	// Trap records the error that killed the thread, if any.
+	Trap error
+
+	// Result holds the root method's return value for the VM's caller.
+	Result    uint64
+	HasResult bool
+
+	// joiners are threads blocked in join() on this thread.
+	joiners []*Thread
+
+	// waitCount preserves monitor recursion across Object.wait.
+	waitCount int
+
+	// Migrations counts core-type switches, for reports.
+	Migrations uint64
+}
+
+func (t *Thread) top() *Frame { return t.Frames[len(t.Frames)-1] }
+
+func (t *Thread) pushFrame(f *Frame) { t.Frames = append(t.Frames, f) }
+
+func (t *Thread) popFrame() *Frame {
+	f := t.Frames[len(t.Frames)-1]
+	t.Frames = t.Frames[:len(t.Frames)-1]
+	return f
+}
+
+// String identifies the thread for diagnostics.
+func (t *Thread) String() string {
+	return fmt.Sprintf("thread %d (%s) [%s]", t.ID, t.Name, t.State)
+}
+
+// Trap errors: the VM models Java's unchecked exceptions as thread
+// traps (this reproduction has no catch handlers; see DESIGN.md §6).
+type TrapError struct {
+	Kind   string
+	Detail string
+	Method string
+	PC     int
+}
+
+// Error formats the trap like an uncaught-exception report.
+func (e *TrapError) Error() string {
+	return fmt.Sprintf("uncaught %s: %s (at %s pc %d)", e.Kind, e.Detail, e.Method, e.PC)
+}

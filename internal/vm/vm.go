@@ -1,0 +1,398 @@
+package vm
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"herajvm/internal/cache"
+	"herajvm/internal/cell"
+	"herajvm/internal/classfile"
+	"herajvm/internal/isa"
+	"herajvm/internal/jit"
+	"herajvm/internal/mem"
+	"herajvm/internal/profile"
+)
+
+// Config tunes the runtime system.
+type Config struct {
+	Machine   cell.Config
+	DataCache cache.DataCacheConfig
+	CodeCache cache.CodeCacheConfig
+
+	// HeapBytes sizes the Java heap; CodeBytes sizes each target's
+	// compiled-code region; BootBytes sizes the boot area (TIBs,
+	// statics).
+	HeapBytes uint32
+	CodeBytes uint32
+	BootBytes uint32
+
+	// Quantum is the scheduling timeslice in cycles.
+	Quantum uint64
+
+	// MigrationBaseCycles + MigrationWordCycles*args is the cost of
+	// packaging a thread's parameters and re-queueing it on the other
+	// core type (§3.1's migration points).
+	MigrationBaseCycles uint64
+	MigrationWordCycles uint64
+
+	// SyscallSendCycles/SyscallServeCycles model the SPE->PPE fast
+	// syscall mailbox round trip (§3.2.3).
+	SyscallSendCycles  uint64
+	SyscallServeCycles uint64
+
+	// GCPauseBase + GCPerObject model collector work on the PPE.
+	GCPauseBase uint64
+	GCPerObject uint64
+
+	// AdaptiveCaches enables the per-SPE controller that repartitions
+	// local store between the data and code caches based on observed
+	// miss rates (the paper's §4 future-work proposal). See
+	// AdaptiveIntervalCycles and AdaptiveStepKB.
+	AdaptiveCaches         bool
+	AdaptiveIntervalCycles uint64
+	AdaptiveStepKB         int
+
+	// UnsafeNoCoherence disables the SPE software-cache purge/flush at
+	// monitor and volatile operations. This breaks the Java Memory Model
+	// (ablation A4 measures what the paper's coherence protocol costs);
+	// checksums may be wrong with it enabled.
+	UnsafeNoCoherence bool
+
+	// Policy decides thread placement; nil means AnnotationPolicy.
+	Policy Policy
+
+	// Stdout receives System.out output; nil captures to a buffer.
+	Stdout io.Writer
+}
+
+// DefaultConfig returns a PS3-like machine with the paper's cache
+// defaults.
+func DefaultConfig() Config {
+	return Config{
+		Machine:             cell.DefaultConfig(),
+		DataCache:           cache.DefaultDataCacheConfig(),
+		CodeCache:           cache.DefaultCodeCacheConfig(),
+		HeapBytes:           32 << 20,
+		CodeBytes:           6 << 20,
+		BootBytes:           1 << 20,
+		Quantum:             4000,
+		MigrationBaseCycles: 600,
+		MigrationWordCycles: 8,
+		SyscallSendCycles:   250,
+		SyscallServeCycles:  600,
+		GCPauseBase:         20000,
+		GCPerObject:         80,
+		Policy:              nil,
+		Stdout:              nil,
+	}
+}
+
+// classMeta is per-class runtime metadata: where the class's TIB lives
+// in main memory (the SPE code cache DMAs it) and the class-lock object
+// used by static synchronized methods.
+type classMeta struct {
+	tibAddr mem.Addr
+	tibSize uint32
+	lockObj Ref
+}
+
+// VM is a booted Hera-JVM instance bound to one simulated machine and
+// one resolved program.
+type VM struct {
+	Cfg     Config
+	Prog    *classfile.Program
+	Machine *cell.Machine
+	Heap    *Heap
+
+	compilers map[isa.CoreKind]*jit.Compiler
+	dcaches   []*cache.DataCache // per SPE
+	ccaches   []*cache.CodeCache // per SPE
+
+	staticsBase mem.Addr
+	staticRefs  []bool // GC ref map for static slots
+	classes     []classMeta
+	classByID   []*classfile.Class
+
+	interned map[string]Ref
+
+	threads   []*Thread
+	nextTID   int
+	byJavaObj map[Ref]*Thread
+	runq      [][]*Thread // per core (index: 0=PPE, 1..=SPEs)
+	liveCount int
+
+	monitors map[Ref]*monitor
+
+	natives map[string]*Native
+
+	policy  Policy
+	Monitor *profile.Monitor
+
+	// ppeSvcBusy serialises the dedicated PPE syscall service thread.
+	ppeSvcBusy cell.Clock
+
+	// adapt holds per-SPE adaptive-cache controller state.
+	adapt []adaptState
+
+	stdout       io.Writer
+	outBuf       *bytes.Buffer
+	stringCls    *classfile.Class
+	threadCls    *classfile.Class
+	throwableCls *classfile.Class
+
+	ifaceMethods map[int]*classfile.Method
+
+	// GCCount and GCCycles summarise collector activity.
+	GCCount  uint64
+	GCCycles uint64
+}
+
+// New boots a VM: builds the machine, carves main memory, lays out
+// statics and TIBs, registers the standard library natives and interns
+// nothing yet (strings intern lazily at JIT time).
+//
+// The program must contain the stdlib classes (use Stdlib to install
+// them before declaring application classes) and must NOT be resolved
+// yet: New resolves it after the stdlib check.
+func New(cfg Config, prog *classfile.Program) (*VM, error) {
+	if !prog.Resolved() {
+		if err := prog.Resolve(); err != nil {
+			return nil, err
+		}
+	}
+	machine, err := cell.NewMachine(cfg.Machine)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{
+		Cfg:          cfg,
+		Prog:         prog,
+		Machine:      machine,
+		compilers:    make(map[isa.CoreKind]*jit.Compiler),
+		interned:     make(map[string]Ref),
+		byJavaObj:    make(map[Ref]*Thread),
+		monitors:     make(map[Ref]*monitor),
+		natives:      make(map[string]*Native),
+		Monitor:      profile.NewMonitor(),
+		ifaceMethods: make(map[int]*classfile.Method),
+	}
+
+	// Carve main memory.
+	layout := mem.NewLayout(cfg.Machine.MainMemory, 4096)
+	boot, err := layout.Carve("boot", cfg.BootBytes)
+	if err != nil {
+		return nil, err
+	}
+	ppeCode, err := layout.Carve("ppe-code", cfg.CodeBytes)
+	if err != nil {
+		return nil, err
+	}
+	speCode, err := layout.Carve("spe-code", cfg.CodeBytes)
+	if err != nil {
+		return nil, err
+	}
+	heapStart, err := layout.Carve("heap", cfg.HeapBytes)
+	if err != nil {
+		return nil, err
+	}
+	vm.Heap = NewHeap(machine.Mem, heapStart.Start, heapStart.End)
+
+	// Statics.
+	nslots := prog.StaticSlots()
+	vm.staticsBase = boot.MustAlloc(uint32(nslots)*isa.SlotBytes+isa.SlotBytes, 16)
+	vm.staticRefs = make([]bool, nslots)
+	for _, c := range prog.Classes() {
+		for _, f := range c.Statics {
+			if f.Type == classfile.Ref {
+				vm.staticRefs[f.Slot] = true
+			}
+		}
+	}
+
+	// TIBs: one block per class in the boot region, holding the vtable's
+	// method IDs as real words (Figure 3's structures).
+	vm.classes = make([]classMeta, len(prog.Classes()))
+	vm.classByID = make([]*classfile.Class, len(prog.Classes()))
+	for _, c := range prog.Classes() {
+		vm.classByID[c.ID] = c
+	}
+	for _, c := range prog.Classes() {
+		size := uint32(16 + 8*len(c.VTable))
+		addr := boot.MustAlloc(size, 16)
+		machine.Mem.Write32(addr, uint32(c.ID))
+		machine.Mem.Write32(addr+4, uint32(len(c.VTable)))
+		for i, m := range c.VTable {
+			machine.Mem.Write64(addr+8+uint32(i)*8, uint64(m.ID))
+		}
+		vm.classes[c.ID] = classMeta{tibAddr: addr, tibSize: size}
+	}
+
+	// Interface-method table.
+	for _, c := range prog.Classes() {
+		if !c.IsInterface {
+			continue
+		}
+		for _, m := range c.Methods {
+			if m.IfaceID >= 0 {
+				vm.ifaceMethods[m.IfaceID] = m
+			}
+		}
+	}
+
+	// Compilers.
+	vm.compilers[isa.PPE] = jit.NewCompiler(isa.PPE, machine.Mem, ppeCode)
+	vm.compilers[isa.SPE] = jit.NewCompiler(isa.SPE, machine.Mem, speCode)
+	for _, c := range vm.compilers {
+		c.InternString = vm.intern
+	}
+
+	// Per-SPE software caches: data cache at the bottom of the local
+	// store, code cache above it (the rest models the resident runtime,
+	// stacks and the 2 KB TOC, §3.2.2).
+	for _, spe := range machine.SPEs {
+		need := uint64(cfg.DataCache.Size) + uint64(cfg.CodeCache.Size)
+		if need > uint64(len(spe.LS)) {
+			return nil, fmt.Errorf("vm: caches (%d B) exceed local store (%d B)", need, len(spe.LS))
+		}
+		vm.dcaches = append(vm.dcaches, cache.NewDataCache(cfg.DataCache, spe, 0))
+		vm.ccaches = append(vm.ccaches, cache.NewCodeCache(cfg.CodeCache, spe, cfg.DataCache.Size))
+	}
+
+	// Ready queues: index 0 = PPE, 1..N = SPEs.
+	vm.runq = make([][]*Thread, 1+len(machine.SPEs))
+	vm.adapt = make([]adaptState, len(machine.SPEs))
+
+	vm.policy = cfg.Policy
+	if vm.policy == nil {
+		vm.policy = &AnnotationPolicy{}
+	}
+
+	vm.stdout = cfg.Stdout
+	if vm.stdout == nil {
+		vm.outBuf = &bytes.Buffer{}
+		vm.stdout = vm.outBuf
+	}
+
+	vm.stringCls = prog.Lookup("java/lang/String")
+	vm.threadCls = prog.Lookup("java/lang/Thread")
+	vm.throwableCls = prog.Lookup("java/lang/Throwable")
+	registerBuiltins(vm)
+	return vm, nil
+}
+
+// Output returns captured System.out output (when no Stdout writer was
+// configured).
+func (vm *VM) Output() string {
+	if vm.outBuf == nil {
+		return ""
+	}
+	return vm.outBuf.String()
+}
+
+// Compiler returns the JIT for a core kind.
+func (vm *VM) Compiler(k isa.CoreKind) *jit.Compiler { return vm.compilers[k] }
+
+// DataCacheOf returns SPE i's software data cache.
+func (vm *VM) DataCacheOf(i int) *cache.DataCache { return vm.dcaches[i] }
+
+// CodeCacheOf returns SPE i's software code cache.
+func (vm *VM) CodeCacheOf(i int) *cache.CodeCache { return vm.ccaches[i] }
+
+// coreFor maps (kind, id) to the cell core.
+func (vm *VM) coreFor(kind isa.CoreKind, id int) *cell.Core {
+	if kind == isa.PPE {
+		return vm.Machine.PPE
+	}
+	return vm.Machine.SPEs[id]
+}
+
+// queueIndex maps (kind, id) to the ready-queue slot.
+func queueIndex(kind isa.CoreKind, id int) int {
+	if kind == isa.PPE {
+		return 0
+	}
+	return 1 + id
+}
+
+// intern returns (allocating on first use) the heap String for a Go
+// string literal. Interned strings are GC roots.
+func (vm *VM) intern(s string) (Ref, error) {
+	if r, ok := vm.interned[s]; ok {
+		return r, nil
+	}
+	if vm.stringCls == nil {
+		return 0, fmt.Errorf("vm: program has no java/lang/String (missing Stdlib?)")
+	}
+	arr, err := vm.allocArray(isa.ElemChar, uint32(len(s)))
+	if err != nil {
+		return 0, err
+	}
+	for i, ch := range []byte(s) { // ASCII workloads; chars are bytes here
+		vm.Machine.Mem.Write16(arr+isa.HeaderBytes+uint32(i)*2, uint16(ch))
+	}
+	obj, err := vm.allocObject(vm.stringCls)
+	if err != nil {
+		return 0, err
+	}
+	vm.Heap.SetFieldSlot(obj, vm.stringCls.FieldByName("value").Slot, uint64(arr))
+	vm.Heap.SetFieldSlot(obj, vm.stringCls.FieldByName("count").Slot, uint64(len(s)))
+	vm.interned[s] = obj
+	return obj, nil
+}
+
+// allocObject allocates a zeroed instance of c, running GC on pressure.
+func (vm *VM) allocObject(c *classfile.Class) (Ref, error) {
+	size := isa.ObjectBytes(c.InstanceSlots)
+	return vm.allocRaw(size, c.ID, 0)
+}
+
+// allocArray allocates a zeroed array.
+func (vm *VM) allocArray(k isa.ElemKind, n uint32) (Ref, error) {
+	size := isa.ArrayBytes(k, n)
+	// Array class IDs: encode kind in the flags word instead; class ID
+	// for arrays is the marker kindArrayBase+kind.
+	return vm.allocRaw(size, arrayClassID(k), n)
+}
+
+// arrayClassID encodes a primitive/ref array "class" as a negative-space
+// ID above all real classes. GC and instanceof special-case them.
+const arrayClassBase = 1 << 24
+
+func arrayClassID(k isa.ElemKind) int { return arrayClassBase + int(k) }
+
+func isArrayClassID(id int) bool { return id >= arrayClassBase }
+
+func arrayKindOf(id int) isa.ElemKind { return isa.ElemKind(id - arrayClassBase) }
+
+func (vm *VM) allocRaw(size uint32, classID int, length uint32) (Ref, error) {
+	addr := vm.Heap.Alloc(size)
+	if addr == 0 {
+		vm.gc()
+		addr = vm.Heap.Alloc(size)
+		if addr == 0 {
+			return 0, fmt.Errorf("vm: OutOfMemoryError allocating %d bytes", size)
+		}
+	}
+	vm.Heap.WriteHeader(addr, classID, length)
+	return addr, nil
+}
+
+// classOf returns the class of a (non-array) object, or nil for arrays.
+func (vm *VM) classOf(obj Ref) *classfile.Class {
+	id := vm.Heap.ClassIDOf(obj)
+	if isArrayClassID(id) {
+		return nil
+	}
+	return vm.classByID[id]
+}
+
+// objectSize returns the total allocation size of an object or array,
+// from its header (used to size whole-object cache transfers).
+func (vm *VM) objectSize(obj Ref) uint32 {
+	id := vm.Heap.ClassIDOf(obj)
+	if isArrayClassID(id) {
+		return isa.ArrayBytes(arrayKindOf(id), vm.Heap.LengthOf(obj))
+	}
+	return isa.ObjectBytes(vm.classByID[id].InstanceSlots)
+}

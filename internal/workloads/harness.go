@@ -1,0 +1,174 @@
+// Package workloads contains the three benchmarks of the paper's
+// evaluation, written against the bytecode assembler and validated
+// against pure-Go reference implementations:
+//
+//   - compress: LZW compression over byte/int tables (SPECjvm2008
+//     compress is LZW-based) — irregular main-memory access, the
+//     paper's data-cache-bound workload;
+//   - mpegaudio: a multi-stage audio decoder proxy (bitstream unpack,
+//     switch-based symbol decode, dequantisation, antialias butterflies,
+//     IMDCT, polyphase synthesis) spread across many methods — the
+//     paper's code-cache-bound workload;
+//   - mandelbrot: an 800x600-style escape-time fractal — the paper's
+//     floating-point-bound workload.
+//
+// Every workload builds the same multi-threaded harness shape as the
+// SPECjvm2008 runs the paper used: W worker threads (subclasses of
+// java/lang/Thread) partition the work by worker ID, accumulate an int32
+// checksum, and publish it through a synchronized adder; main starts and
+// joins the workers and returns the total. The checksum is identical
+// regardless of thread count or core placement, which the tests verify
+// against the Go references.
+package workloads
+
+import (
+	"fmt"
+
+	"herajvm/internal/classfile"
+	"herajvm/internal/vm"
+)
+
+// Spec describes one buildable workload.
+type Spec struct {
+	// Name is the benchmark name as the paper uses it.
+	Name string
+	// MainClass.main is the entry point; it returns the checksum.
+	MainClass string
+	// Build constructs the program for the given worker count and scale.
+	Build func(threads, scale int) (*classfile.Program, error)
+	// Reference computes the expected checksum in pure Go.
+	Reference func(threads, scale int) int32
+	// DefaultScale is the scale used by the experiment harness.
+	DefaultScale int
+}
+
+// All returns the three paper workloads in the paper's order.
+func All() []Spec {
+	return []Spec{Compress(), MPEGAudio(), Mandelbrot()}
+}
+
+// ByName finds a workload.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// harness is the shared worker scaffolding.
+type harness struct {
+	p       *classfile.Program
+	worker  *classfile.Class
+	run     *classfile.Method
+	id      *classfile.Field
+	workers *classfile.Field
+	scale   *classfile.Field
+	total   *classfile.Field
+	add     *classfile.Method
+}
+
+// newHarness creates a program with the stdlib, a Counter class with a
+// synchronized adder, and a Worker (extends Thread) whose run() body the
+// workload fills in. run() is annotated so the placement policy sends
+// workers to SPEs when the machine has them.
+func newHarness(workerName string) *harness {
+	p := classfile.NewProgram()
+	vm.Stdlib(p)
+	threadCls := p.Lookup("java/lang/Thread")
+
+	counter := p.NewClass("Counter", nil)
+	total := counter.NewStaticField("total", classfile.Int)
+	add := counter.NewMethod("add", classfile.FlagStatic|classfile.FlagSynchronized,
+		classfile.Void, classfile.Int)
+	{
+		a := add.Asm()
+		a.GetStatic(total)
+		a.LoadI(0)
+		a.AddI()
+		a.PutStatic(total)
+		a.RetVoid()
+		a.MustBuild()
+	}
+
+	w := p.NewClass(workerName, threadCls)
+	h := &harness{
+		p:       p,
+		worker:  w,
+		id:      w.NewField("id", classfile.Int),
+		workers: w.NewField("workers", classfile.Int),
+		scale:   w.NewField("scale", classfile.Int),
+		total:   total,
+		add:     add,
+	}
+	h.run = w.NewMethod("run", 0, classfile.Void).Annotate(classfile.AnnRunOnSPE)
+	return h
+}
+
+// buildMain emits MainClass.main: spawn `threads` workers with ids
+// 0..threads-1, start them, join them, return Counter.total.
+// initCall, when non-nil, is a static no-arg method invoked first
+// (coefficient-table setup).
+func (h *harness) buildMain(mainClass string, threads, scale int, initCall *classfile.Method) {
+	threadCls := h.p.Lookup("java/lang/Thread")
+	start := threadCls.MethodByName("start")
+	join := threadCls.MethodByName("join")
+
+	c := h.p.NewClass(mainClass, nil)
+	m := c.NewMethod("main", classfile.FlagStatic, classfile.Int)
+	a := m.Asm()
+	if initCall != nil {
+		a.InvokeStatic(initCall)
+	}
+	// Worker[] ws = new Worker[threads];
+	a.ConstI(int32(threads))
+	a.ANewArray(h.worker)
+	a.StoreRef(0)
+	loop1, done1 := a.NewLabel(), a.NewLabel()
+	a.ConstI(0)
+	a.StoreI(1)
+	a.Bind(loop1)
+	a.LoadI(1)
+	a.ConstI(int32(threads))
+	a.IfICmpGE(done1)
+	a.New(h.worker)
+	a.StoreRef(2)
+	a.LoadRef(2)
+	a.LoadI(1)
+	a.PutField(h.id)
+	a.LoadRef(2)
+	a.ConstI(int32(threads))
+	a.PutField(h.workers)
+	a.LoadRef(2)
+	a.ConstI(int32(scale))
+	a.PutField(h.scale)
+	a.LoadRef(0)
+	a.LoadI(1)
+	a.LoadRef(2)
+	a.AStore(classfile.ElemRef)
+	a.LoadRef(2)
+	a.InvokeVirtual(start)
+	a.Inc(1, 1)
+	a.Goto(loop1)
+	a.Bind(done1)
+
+	loop2, done2 := a.NewLabel(), a.NewLabel()
+	a.ConstI(0)
+	a.StoreI(1)
+	a.Bind(loop2)
+	a.LoadI(1)
+	a.ConstI(int32(threads))
+	a.IfICmpGE(done2)
+	a.LoadRef(0)
+	a.LoadI(1)
+	a.ALoad(classfile.ElemRef)
+	a.InvokeVirtual(join)
+	a.Inc(1, 1)
+	a.Goto(loop2)
+	a.Bind(done2)
+
+	a.GetStatic(h.total)
+	a.Ret()
+	a.MustBuild()
+}

@@ -1,0 +1,168 @@
+package workloads
+
+import (
+	"testing"
+
+	"herajvm/internal/isa"
+	"herajvm/internal/vm"
+)
+
+func smallConfig(numSPEs int) vm.Config {
+	cfg := vm.DefaultConfig()
+	cfg.Machine.MainMemory = 32 << 20
+	cfg.Machine.NumSPEs = numSPEs
+	cfg.HeapBytes = 16 << 20
+	cfg.CodeBytes = 2 << 20
+	return cfg
+}
+
+// runWorkload builds and runs a workload, returning the checksum and VM.
+func runWorkload(t *testing.T, s Spec, threads, scale, numSPEs int) (int32, *vm.VM) {
+	return runWorkloadCfg(t, s, threads, scale, smallConfig(numSPEs))
+}
+
+func runWorkloadCfg(t *testing.T, s Spec, threads, scale int, cfg vm.Config) (int32, *vm.VM) {
+	t.Helper()
+	p, err := s.Build(threads, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine, err := vm.New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := machine.RunMain(s.MainClass, "main")
+	if err != nil {
+		t.Fatalf("%s: %v", s.Name, err)
+	}
+	return int32(uint32(th.Result)), machine
+}
+
+func TestWorkloadChecksumsMatchReferenceOnPPE(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			scale := 1
+			if s.Name == "mandelbrot" {
+				scale = 2
+			}
+			got, _ := runWorkload(t, s, 2, scale, 0) // no SPEs: pure PPE
+			want := s.Reference(2, scale)
+			if got != want {
+				t.Errorf("PPE checksum = %d, want %d", got, want)
+			}
+		})
+	}
+}
+
+func TestWorkloadChecksumsMatchReferenceOnSPEs(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			scale := 1
+			if s.Name == "mandelbrot" {
+				scale = 2
+			}
+			got, machine := runWorkload(t, s, 3, scale, 3)
+			want := s.Reference(3, scale)
+			if got != want {
+				t.Errorf("SPE checksum = %d, want %d", got, want)
+			}
+			var speInstrs uint64
+			for _, spe := range machine.Machine.SPEs {
+				speInstrs += spe.Stats.Instrs
+			}
+			if speInstrs == 0 {
+				t.Error("workers never executed on SPEs")
+			}
+		})
+	}
+}
+
+func TestChecksumIndependentOfSPECount(t *testing.T) {
+	// Same program, same threads, different core counts: the checksum
+	// must not change (transparency of placement).
+	s := Mandelbrot()
+	ref := s.Reference(4, 1)
+	for _, spes := range []int{1, 2, 4} {
+		got, _ := runWorkload(t, s, 4, 1, spes)
+		if got != ref {
+			t.Errorf("%d SPEs: checksum %d, want %d", spes, got, ref)
+		}
+	}
+}
+
+func TestWorkloadCharacters(t *testing.T) {
+	// The three workloads must exhibit the paper's Figure 5/6/7 contrast:
+	// mandelbrot FP-dominated; compress most main-memory-bound (worst
+	// data-cache behaviour); mpegaudio the largest code footprint (worst
+	// code-cache behaviour). Caches are measured at reduced sizes so the
+	// sensitivity - not just cold misses - is visible, as in the paper's
+	// sweeps.
+	type profile struct {
+		fpShare   float64
+		memShare  float64
+		codeChurn float64 // code-cache misses per executed instruction
+		dataMiss  float64 // data-cache misses per executed instruction
+	}
+	profiles := map[string]profile{}
+	for _, s := range All() {
+		scale := s.DefaultScale
+		cfg := smallConfig(1)
+		cfg.DataCache.Size = 48 << 10
+		cfg.CodeCache.Size = 24 << 10
+		_, machine := runWorkloadCfg(t, s, 1, scale, cfg)
+		spe := machine.Machine.SPEs[0]
+		var busy uint64
+		for _, c := range spe.Stats.Cycles {
+			busy += c
+		}
+		profiles[s.Name] = profile{
+			fpShare:   float64(spe.Stats.Cycles[isa.ClassFloat]) / float64(busy),
+			memShare:  float64(spe.Stats.Cycles[isa.ClassMainMem]) / float64(busy),
+			codeChurn: float64(spe.Stats.CodeMisses) / float64(spe.Stats.Instrs),
+			dataMiss:  float64(spe.Stats.DataMisses) / float64(spe.Stats.Instrs),
+		}
+	}
+	mb, cp, mp := profiles["mandelbrot"], profiles["compress"], profiles["mpegaudio"]
+	if !(mb.fpShare > cp.fpShare && mb.fpShare > mp.fpShare) {
+		t.Errorf("mandelbrot should have the largest FP share: mb=%.3f cp=%.3f mp=%.3f",
+			mb.fpShare, cp.fpShare, mp.fpShare)
+	}
+	if !(cp.memShare > mb.memShare && cp.memShare > mp.memShare) {
+		t.Errorf("compress should have the largest main-memory share: cp=%.3f mb=%.3f mp=%.3f",
+			cp.memShare, mb.memShare, mp.memShare)
+	}
+	if !(cp.dataMiss > mb.dataMiss && cp.dataMiss > mp.dataMiss) {
+		t.Errorf("compress should miss the data cache most often: cp=%.5f mb=%.5f mp=%.5f",
+			cp.dataMiss, mb.dataMiss, mp.dataMiss)
+	}
+	if !(mp.codeChurn > cp.codeChurn && mp.codeChurn > mb.codeChurn) {
+		t.Errorf("mpegaudio should have the worst code-cache churn: mp=%.6f cp=%.6f mb=%.6f",
+			mp.codeChurn, cp.codeChurn, mb.codeChurn)
+	}
+}
+
+func TestReferenceDeterminism(t *testing.T) {
+	for _, s := range All() {
+		a := s.Reference(6, 2)
+		b := s.Reference(6, 2)
+		if a != b {
+			t.Errorf("%s: reference not deterministic", s.Name)
+		}
+		if s.Reference(1, 2) == s.Reference(6, 2) && s.Name == "mandelbrot" {
+			// Work is partitioned by thread; totals still equal. (This is
+			// the design: checksum independent of thread count.)
+			continue
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("compress"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("expected error for unknown workload")
+	}
+}
