@@ -167,7 +167,7 @@ func BenchmarkInterpreterThroughput(b *testing.B) {
 		b.StopTimer()
 		prog, _ = spec.Build(1, 2)
 		cfg := vm.DefaultConfig()
-		cfg.Machine.NumSPEs = 1
+		cfg.Machine.Topology = cell.PS3Topology(1)
 		machine, err := vm.New(cfg, prog)
 		if err != nil {
 			b.Fatal(err)
@@ -176,7 +176,7 @@ func BenchmarkInterpreterThroughput(b *testing.B) {
 		if _, err := machine.RunMain(spec.MainClass, "main"); err != nil {
 			b.Fatal(err)
 		}
-		instrs += machine.Machine.SPEs[0].Stats.Instrs
+		instrs += machine.Machine.CoresOf(hera.SPE)[0].Stats.Instrs
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instrs/s")
 }
@@ -197,7 +197,7 @@ func BenchmarkDataCacheHit(b *testing.B) {
 }
 
 func newBenchDataCache(m *cell.Machine) *cache.DataCache {
-	return cache.NewDataCache(cache.DefaultDataCacheConfig(), m.SPEs[0], 0)
+	return cache.NewDataCache(cache.DefaultDataCacheConfig(), m.CoresOf(hera.SPE)[0], 0)
 }
 
 // BenchmarkEIBTransfer measures the host cost of bus arbitration.

@@ -24,7 +24,7 @@ type table interface{ Table() string }
 
 func main() {
 	var (
-		fig  = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | all")
+		fig  = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | topo | all")
 		full = flag.Bool("full", false, "paper-shaped workload sizes (slower)")
 		verb = flag.Bool("v", false, "log per-run progress to stderr")
 	)
@@ -52,6 +52,7 @@ func main() {
 		{"a2", func(o experiments.Options) (table, error) { return experiments.RunA2(o) }},
 		{"a3", func(o experiments.Options) (table, error) { return experiments.RunA3(o) }},
 		{"a4", func(o experiments.Options) (table, error) { return experiments.RunA4(o) }},
+		{"topo", func(o experiments.Options) (table, error) { return experiments.RunTopologySweep(o) }},
 	}
 
 	want := strings.ToLower(*fig)

@@ -7,8 +7,9 @@
 //
 //	herajvm -workload mandelbrot -spes 6
 //	herajvm -workload compress -spes 1 -scale 2
-//	herajvm -workload mpegaudio -spes 0          # PPE only
-//	herajvm -workload compress -policy monitor   # runtime-monitoring placement
+//	herajvm -workload mpegaudio -spes 0              # PPE only
+//	herajvm -workload compress -policy monitor       # runtime-monitoring placement
+//	herajvm -workload mandelbrot -topology ppe:2,spe:2   # asymmetric machine
 package main
 
 import (
@@ -22,8 +23,9 @@ import (
 func main() {
 	var (
 		workload = flag.String("workload", "mandelbrot", "compress | mpegaudio | mandelbrot")
-		spes     = flag.Int("spes", 6, "number of SPE cores (0 = run everything on the PPE)")
-		threads  = flag.Int("threads", 0, "worker threads (default: one per core)")
+		spes     = flag.Int("spes", 6, "number of SPE cores beside one PPE (0 = run everything on the PPE)")
+		topology = flag.String("topology", "", `machine topology, e.g. "ppe:1,spe:6" (overrides -spes)`)
+		threads  = flag.Int("threads", 0, "worker threads (default: one per worker core)")
 		scale    = flag.Int("scale", 0, "workload scale (default: workload-specific)")
 		policy   = flag.String("policy", "annotation", "annotation | monitor | ppe | spe")
 		dataKB   = flag.Int("datacache", 104, "SPE data cache size in KB")
@@ -40,15 +42,21 @@ func main() {
 	if *scale == 0 {
 		*scale = spec.DefaultScale
 	}
-	if *threads == 0 {
-		*threads = *spes
-		if *threads == 0 {
-			*threads = 1
+
+	topo := hera.PS3Topology(*spes)
+	if *topology != "" {
+		topo, err = hera.ParseTopology(*topology)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
+	}
+	if *threads == 0 {
+		*threads = topo.DefaultWorkers()
 	}
 
 	cfg := hera.DefaultConfig()
-	cfg.Machine.NumSPEs = *spes
+	cfg.Machine.Topology = topo
 	cfg.DataCache.Size = uint32(*dataKB) << 10
 	cfg.CodeCache.Size = uint32(*codeKB) << 10
 	switch *policy {
@@ -83,7 +91,7 @@ func main() {
 
 	checksum := int32(uint32(res.Value))
 	want := spec.Reference(*threads, *scale)
-	fmt.Printf("%s: %d threads, %d SPEs, scale %d\n", spec.Name, *threads, *spes, *scale)
+	fmt.Printf("%s: %d threads, machine %s, scale %d\n", spec.Name, *threads, topo, *scale)
 	fmt.Printf("completed in %d cycles (%.2f ms at 3.2 GHz)\n", res.Cycles, res.Millis)
 	fmt.Printf("checksum %d (%s)\n", checksum, validity(checksum == want))
 	if res.Output != "" {

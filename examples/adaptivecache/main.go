@@ -30,7 +30,7 @@ func run(name string, dataKB int, scale int) (cycles uint64, dataMissPerK, codeM
 		log.Fatal(err)
 	}
 	cfg := hera.DefaultConfig()
-	cfg.Machine.NumSPEs = 1
+	cfg.Machine.Topology = hera.PS3Topology(1)
 	cfg.DataCache.Size = uint32(dataKB) << 10
 	cfg.CodeCache.Size = uint32(budgetKB-dataKB) << 10
 	sys, err := hera.NewSystem(cfg, prog)
@@ -41,7 +41,7 @@ func run(name string, dataKB int, scale int) (cycles uint64, dataMissPerK, codeM
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := sys.VM.Machine.SPEs[0].Stats
+	st := sys.VM.Machine.CoresOf(hera.SPE)[0].Stats
 	perK := func(n uint64) float64 { return 1000 * float64(n) / float64(st.Instrs) }
 	return res.Cycles, perK(st.DataMisses), perK(st.CodeMisses)
 }

@@ -91,9 +91,9 @@ func run(annotate bool) {
 	if annotate {
 		where = "@FloatIntensive (migrates to SPE)"
 	}
-	ppe := sys.VM.Machine.PPE.Stats
+	ppe := sys.VM.Machine.CoresOf(hera.PPE)[0].Stats
 	var speInstrs uint64
-	for _, s := range sys.VM.Machine.SPEs {
+	for _, s := range sys.VM.Machine.CoresOf(hera.SPE) {
 		speInstrs += s.Stats.Instrs
 	}
 	fmt.Printf("%-36s result=%d cycles=%-10d ppe-instrs=%-8d spe-instrs=%-8d migrations out=%d\n",

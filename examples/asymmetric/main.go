@@ -1,0 +1,60 @@
+// Asymmetric machines: the seed's machine model hardwired the PS3 shape
+// (one PPE + N SPEs). With declarative topologies the same unmodified
+// program runs on any core mix — a PPE-only host, a dual-PPE server, an
+// asymmetric 2 PPE + 2 SPE part, or an SPE-heavy accelerator — and the
+// runtime, not the programmer, maps threads onto whatever cores exist.
+// The checksum is identical on every machine; only the time changes.
+//
+//	go run ./examples/asymmetric
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hera "herajvm"
+)
+
+var machines = []string{
+	"ppe:1",       // general-purpose host, no accelerators
+	"ppe:2",       // symmetric dual-PPE server
+	"ppe:2,spe:2", // asymmetric: two hosts, two accelerators
+	"ppe:1,spe:6", // the PS3 default
+}
+
+func main() {
+	spec, err := hera.WorkloadByName("mandelbrot")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("same program, same checksum - only the machine declaration changes:")
+	for _, m := range machines {
+		topo, err := hera.ParseTopology(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prog, err := spec.Build(topo.DefaultWorkers(), 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := hera.DefaultConfig()
+		cfg.Machine.Topology = topo
+		sys, err := hera.NewSystem(cfg, prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run(spec.MainClass, "main")
+		if err != nil {
+			log.Fatal(err)
+		}
+		var ppeInstrs, speInstrs uint64
+		for _, c := range sys.VM.Machine.CoresOf(hera.PPE) {
+			ppeInstrs += c.Stats.Instrs
+		}
+		for _, c := range sys.VM.Machine.CoresOf(hera.SPE) {
+			speInstrs += c.Stats.Instrs
+		}
+		fmt.Printf("%-14s checksum=%-8d cycles=%-10d ppe-instrs=%-9d spe-instrs=%-9d\n",
+			m, int32(uint32(res.Value)), res.Cycles, ppeInstrs, speInstrs)
+	}
+}

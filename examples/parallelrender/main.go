@@ -29,7 +29,7 @@ func run(spes int) (cycles uint64, checksum int32) {
 		log.Fatal(err)
 	}
 	cfg := hera.DefaultConfig()
-	cfg.Machine.NumSPEs = spes
+	cfg.Machine.Topology = hera.PS3Topology(spes)
 	sys, err := hera.NewSystem(cfg, prog)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,3 @@
+module herajvm
+
+go 1.24

@@ -123,6 +123,10 @@ type (
 	MonitoringPolicy = vm.MonitoringPolicy
 	// CoreKind selects PPE or SPE.
 	CoreKind = isa.CoreKind
+	// Topology declares a machine's core mix as ordered groups.
+	Topology = cell.Topology
+	// CoreGroup is one run of identical cores in a Topology.
+	CoreGroup = cell.CoreGroup
 )
 
 // Core kinds.
@@ -134,6 +138,13 @@ const (
 // DefaultConfig returns a PS3-like machine: one PPE, six SPEs, 256 KB
 // local stores with a 104 KB data cache and 88 KB code cache per SPE.
 func DefaultConfig() Config { return vm.DefaultConfig() }
+
+// PS3Topology returns the classic Cell shape: one PPE + numSPEs SPEs.
+func PS3Topology(numSPEs int) Topology { return cell.PS3Topology(numSPEs) }
+
+// ParseTopology parses a topology spec such as "ppe:1,spe:6" or
+// "ppe:2,spe:2" — any mix with at least one PPE is a valid machine.
+func ParseTopology(s string) (Topology, error) { return cell.ParseTopology(s) }
 
 // DefaultMonitoringPolicy returns the runtime-monitoring placement
 // policy with calibrated thresholds.

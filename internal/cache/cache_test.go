@@ -6,19 +6,20 @@ import (
 	"testing/quick"
 
 	"herajvm/internal/cell"
+	"herajvm/internal/isa"
 	"herajvm/internal/mem"
 )
 
 func newSPE(t testing.TB) (*cell.Machine, *cell.Core) {
 	t.Helper()
 	cfg := cell.DefaultConfig()
-	cfg.NumSPEs = 2
+	cfg.Topology = cell.PS3Topology(2)
 	cfg.MainMemory = 1 << 20 // tests touch low addresses only; keep allocation cheap
 	m, err := cell.NewMachine(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return m, m.SPEs[0]
+	return m, m.CoresOf(isa.SPE)[0]
 }
 
 func newDC(t testing.TB, size uint32) (*cell.Machine, *DataCache) {

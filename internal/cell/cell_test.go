@@ -178,13 +178,14 @@ func TestMachineConstruction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.PPE.Kind != isa.PPE || m.PPE.Mem == nil || m.PPE.BP == nil {
+	ppe := m.CoresOf(isa.PPE)[0]
+	if ppe.Kind != isa.PPE || ppe.Mem == nil || ppe.BP == nil {
 		t.Error("PPE misconfigured")
 	}
-	if len(m.SPEs) != 6 {
-		t.Fatalf("want 6 SPEs, got %d", len(m.SPEs))
+	if m.NumOf(isa.SPE) != 6 {
+		t.Fatalf("want 6 SPEs, got %d", m.NumOf(isa.SPE))
 	}
-	for i, s := range m.SPEs {
+	for i, s := range m.CoresOf(isa.SPE) {
 		if s.Kind != isa.SPE || s.ID != i {
 			t.Errorf("SPE %d misconfigured", i)
 		}
@@ -195,16 +196,68 @@ func TestMachineConstruction(t *testing.T) {
 			t.Errorf("SPE %d has no MFC", i)
 		}
 	}
-	if len(m.Cores()) != 7 {
+	if len(m.Cores()) != 7 || m.NumCores() != 7 {
 		t.Errorf("Cores() returned %d", len(m.Cores()))
+	}
+	for i, c := range m.Cores() {
+		if c.Index != i {
+			t.Errorf("core %d has global index %d", i, c.Index)
+		}
+	}
+	if !m.HasKind(isa.PPE) || !m.HasKind(isa.SPE) {
+		t.Error("HasKind misreports the default topology")
+	}
+	if m.Describe() != "1 PPE + 6 SPEs" {
+		t.Errorf("Describe() = %q", m.Describe())
+	}
+}
+
+func TestMachineAsymmetricTopology(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = Topology{{Kind: isa.PPE, Count: 2}, {Kind: isa.SPE, Count: 2}}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumOf(isa.PPE) != 2 || m.NumOf(isa.SPE) != 2 {
+		t.Fatalf("core counts: %d PPE, %d SPE", m.NumOf(isa.PPE), m.NumOf(isa.SPE))
+	}
+	for i, p := range m.CoresOf(isa.PPE) {
+		if p.ID != i || p.Mem == nil || p.BP == nil || p.MFC != nil {
+			t.Errorf("PPE %d misconfigured", i)
+		}
+		if m.CoreAt(isa.PPE, i) != p {
+			t.Errorf("CoreAt(PPE, %d) mismatch", i)
+		}
+	}
+	for i, s := range m.CoresOf(isa.SPE) {
+		if s.ID != i || s.MFC == nil || s.Mem != nil {
+			t.Errorf("SPE %d misconfigured", i)
+		}
+	}
+	if m.CoresOf(isa.PPE)[1].String() != "PPE1" || m.CoresOf(isa.SPE)[1].String() != "SPE1" {
+		t.Errorf("core names: %s, %s", m.CoresOf(isa.PPE)[1], m.CoresOf(isa.SPE)[1])
+	}
+	if m.Describe() != "2 PPEs + 2 SPEs" {
+		t.Errorf("Describe() = %q", m.Describe())
 	}
 }
 
 func TestMachineValidation(t *testing.T) {
 	bad := DefaultConfig()
-	bad.NumSPEs = -1
+	bad.Topology = PS3Topology(-1)
 	if _, err := NewMachine(bad); err == nil {
 		t.Error("negative SPE count should fail")
+	}
+	bad = DefaultConfig()
+	bad.Topology = nil
+	if _, err := NewMachine(bad); err == nil {
+		t.Error("empty topology should fail")
+	}
+	bad = DefaultConfig()
+	bad.Topology = Topology{{Kind: isa.SPE, Count: 4}}
+	if _, err := NewMachine(bad); err == nil {
+		t.Error("PPE-less topology should fail (GC and syscalls need one)")
 	}
 	bad = DefaultConfig()
 	bad.MainMemory = 1024
@@ -215,6 +268,33 @@ func TestMachineValidation(t *testing.T) {
 	bad.LocalStore = 1024
 	if _, err := NewMachine(bad); err == nil {
 		t.Error("tiny local store should fail")
+	}
+}
+
+func TestParseTopology(t *testing.T) {
+	cases := map[string]string{
+		"ppe:1,spe:6": "ppe:1,spe:6",
+		"PPE:2":       "ppe:2",
+		"ppe, spe":    "ppe:1,spe:1",
+		// Interleaved groups round-trip in declaration order: core
+		// indices follow topology order, so canonicalizing would
+		// describe a different machine.
+		"spe:3,ppe:1,spe:3": "spe:3,ppe:1,spe:3",
+	}
+	for in, want := range cases {
+		topo, err := ParseTopology(in)
+		if err != nil {
+			t.Errorf("ParseTopology(%q): %v", in, err)
+			continue
+		}
+		if topo.String() != want {
+			t.Errorf("ParseTopology(%q) = %q, want %q", in, topo, want)
+		}
+	}
+	for _, in := range []string{"", "qpu:4", "ppe:x", "spe:6", "ppe:-1"} {
+		if _, err := ParseTopology(in); err == nil {
+			t.Errorf("ParseTopology(%q) should fail", in)
+		}
 	}
 }
 
@@ -244,8 +324,8 @@ func TestMaxClock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m.SPEs[3].Now = 1000
-	m.PPE.Now = 500
+	m.CoreAt(isa.SPE, 3).Now = 1000
+	m.CoreAt(isa.PPE, 0).Now = 500
 	if m.MaxClock() != 1000 {
 		t.Errorf("MaxClock: got %d", m.MaxClock())
 	}

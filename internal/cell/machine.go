@@ -8,19 +8,20 @@ import (
 	"herajvm/internal/profile"
 )
 
-// Config describes a Cell machine instance.
+// Config describes a Cell-like machine instance.
 type Config struct {
 	// MainMemory is the main-memory size in bytes (the PS3 exposes
 	// 256 MB; the default here is 64 MB, plenty for the workloads).
 	MainMemory uint32
-	// NumSPEs is the number of usable SPE cores (6 on a PS3).
-	NumSPEs int
+	// Topology declares the machine's core mix (the PS3 default is
+	// 1 PPE + 6 SPEs; see PS3Topology and ParseTopology).
+	Topology Topology
 	// LocalStore is each SPE's local store size (256 KB on real silicon).
 	LocalStore uint32
 	EIB        EIBConfig
 	MFC        MFCConfig
 	PPEMem     PPEMemConfig
-	// BranchPredictorBits sizes the PPE predictor table (2^bits entries).
+	// BranchPredictorBits sizes each PPE predictor table (2^bits entries).
 	BranchPredictorBits uint
 }
 
@@ -29,7 +30,7 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		MainMemory:          64 << 20,
-		NumSPEs:             6,
+		Topology:            PS3Topology(6),
 		LocalStore:          256 << 10,
 		EIB:                 DefaultEIBConfig(),
 		MFC:                 DefaultMFCConfig(),
@@ -44,8 +45,11 @@ func DefaultConfig() Config {
 // PPE) plus all statistics.
 type Core struct {
 	Kind isa.CoreKind
-	// ID is the core's index: 0 for the PPE, 0..N-1 for SPEs.
+	// ID is the core's index among cores of its kind: 0..N-1.
 	ID int
+	// Index is the core's position in Machine.Cores() — the global,
+	// topology-order index the scheduler keys its calendars by.
+	Index int
 	// Now is the core's local clock in cycles.
 	Now Clock
 
@@ -62,12 +66,13 @@ type Core struct {
 	Stats profile.CoreStats
 }
 
-// String names the core, e.g. "PPE" or "SPE2".
+// String names the core, e.g. "PPE" or "SPE2". The first PPE keeps the
+// bare historical name; further same-kind cores are numbered.
 func (c *Core) String() string {
-	if c.Kind == isa.PPE {
+	if c.Kind == isa.PPE && c.ID == 0 {
 		return "PPE"
 	}
-	return fmt.Sprintf("SPE%d", c.ID)
+	return fmt.Sprintf("%s%d", c.Kind, c.ID)
 }
 
 // Charge advances the core's clock by n cycles billed to the given
@@ -93,20 +98,24 @@ func (c *Core) AdvanceTo(t Clock) {
 	}
 }
 
-// Machine is a configured Cell processor: main memory, the bus, one PPE
-// and the SPEs.
+// Machine is a configured Cell-like processor: main memory, the bus, and
+// the cores the topology declares, grouped by kind. Consumers address
+// cores through the kind-indexed accessors (CoresOf, CoreAt, HasKind);
+// there is no structural assumption that any kind exists beyond the one
+// PPE the topology validation guarantees.
 type Machine struct {
-	Cfg  Config
-	Mem  *mem.Main
-	EIB  *EIB
-	PPE  *Core
-	SPEs []*Core
+	Cfg Config
+	Mem *mem.Main
+	EIB *EIB
+
+	cores  []*Core
+	byKind map[isa.CoreKind][]*Core
 }
 
 // NewMachine builds a machine from its configuration.
 func NewMachine(cfg Config) (*Machine, error) {
-	if cfg.NumSPEs < 0 {
-		return nil, fmt.Errorf("cell: negative SPE count %d", cfg.NumSPEs)
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.MainMemory < 1<<20 {
 		return nil, fmt.Errorf("cell: main memory %d too small (min 1 MB)", cfg.MainMemory)
@@ -115,41 +124,75 @@ func NewMachine(cfg Config) (*Machine, error) {
 		return nil, fmt.Errorf("cell: local store %d too small (min 16 KB)", cfg.LocalStore)
 	}
 	m := &Machine{
-		Cfg: cfg,
-		Mem: mem.NewMain(cfg.MainMemory),
-		EIB: NewEIB(cfg.EIB),
+		Cfg:    cfg,
+		Mem:    mem.NewMain(cfg.MainMemory),
+		EIB:    NewEIB(cfg.EIB),
+		byKind: make(map[isa.CoreKind][]*Core),
 	}
-	m.PPE = &Core{
-		Kind: isa.PPE,
-		Mem:  NewPPEMem(cfg.PPEMem),
-		BP:   NewBranchPredictor(cfg.BranchPredictorBits),
-	}
-	for i := 0; i < cfg.NumSPEs; i++ {
-		ls := make([]byte, cfg.LocalStore)
-		m.SPEs = append(m.SPEs, &Core{
-			Kind: isa.SPE,
-			ID:   i,
-			LS:   ls,
-			MFC:  NewMFC(cfg.MFC, m.EIB, m.Mem, ls),
-		})
+	for _, g := range cfg.Topology {
+		for i := 0; i < g.Count; i++ {
+			c := &Core{
+				Kind:  g.Kind,
+				ID:    len(m.byKind[g.Kind]),
+				Index: len(m.cores),
+			}
+			switch g.Kind {
+			case isa.PPE:
+				c.Mem = NewPPEMem(cfg.PPEMem)
+				c.BP = NewBranchPredictor(cfg.BranchPredictorBits)
+			case isa.SPE:
+				c.LS = make([]byte, cfg.LocalStore)
+				c.MFC = NewMFC(cfg.MFC, m.EIB, m.Mem, c.LS)
+			}
+			m.cores = append(m.cores, c)
+			m.byKind[g.Kind] = append(m.byKind[g.Kind], c)
+		}
 	}
 	return m, nil
 }
 
-// Cores returns all cores, PPE first.
+// Cores returns all cores in topology order. The slice is a copy;
+// callers may reorder it freely without perturbing the machine.
 func (m *Machine) Cores() []*Core {
-	out := make([]*Core, 0, 1+len(m.SPEs))
-	out = append(out, m.PPE)
-	return append(out, m.SPEs...)
+	out := make([]*Core, len(m.cores))
+	copy(out, m.cores)
+	return out
 }
+
+// NumCores returns the total core count.
+func (m *Machine) NumCores() int { return len(m.cores) }
+
+// CoresOf returns the cores of one kind, ordered by ID (nil if the
+// topology has none). The slice is a copy; callers may reorder it.
+func (m *Machine) CoresOf(kind isa.CoreKind) []*Core {
+	src := m.byKind[kind]
+	if src == nil {
+		return nil
+	}
+	out := make([]*Core, len(src))
+	copy(out, src)
+	return out
+}
+
+// NumOf returns how many cores of the kind the machine has.
+func (m *Machine) NumOf(kind isa.CoreKind) int { return len(m.byKind[kind]) }
+
+// HasKind reports whether the machine has at least one core of the kind.
+func (m *Machine) HasKind(kind isa.CoreKind) bool { return len(m.byKind[kind]) > 0 }
+
+// CoreAt returns core id of the given kind.
+func (m *Machine) CoreAt(kind isa.CoreKind, id int) *Core { return m.byKind[kind][id] }
+
+// Describe renders the machine's core mix, e.g. "1 PPE + 6 SPEs".
+func (m *Machine) Describe() string { return m.Cfg.Topology.Describe() }
 
 // MaxClock returns the largest core clock — the machine's notion of
 // elapsed time once a run completes.
 func (m *Machine) MaxClock() Clock {
-	t := m.PPE.Now
-	for _, s := range m.SPEs {
-		if s.Now > t {
-			t = s.Now
+	var t Clock
+	for _, c := range m.cores {
+		if c.Now > t {
+			t = c.Now
 		}
 	}
 	return t

@@ -1,0 +1,144 @@
+package cell
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"herajvm/internal/isa"
+)
+
+// CoreGroup declares a run of identical cores in a machine topology.
+type CoreGroup struct {
+	Kind  isa.CoreKind
+	Count int
+}
+
+// Topology declares a machine's core mix as an ordered list of groups.
+// Cores are instantiated in group order; within a kind they are numbered
+// 0..N-1 across all groups of that kind. The PS3 shape is
+// Topology{{PPE, 1}, {SPE, 6}}, but any mix with at least one PPE is a
+// valid machine: multi-PPE hosts, PPE-only machines, SPE-heavy 1+12
+// accelerators, and interleaved layouts all construct the same way.
+type Topology []CoreGroup
+
+// PS3Topology returns the classic Cell shape: one PPE plus numSPEs SPEs
+// (numSPEs may be 0 for a PPE-only machine).
+func PS3Topology(numSPEs int) Topology {
+	t := Topology{{Kind: isa.PPE, Count: 1}}
+	if numSPEs != 0 {
+		t = append(t, CoreGroup{Kind: isa.SPE, Count: numSPEs})
+	}
+	return t
+}
+
+// ParseTopology parses a topology spec like "ppe:1,spe:6" or "ppe:2".
+// Kind names are case-insensitive; a group without ":count" means one
+// core ("ppe,spe" is 1 PPE + 1 SPE). Groups of the same kind may repeat.
+func ParseTopology(s string) (Topology, error) {
+	var t Topology
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, countStr, hasCount := strings.Cut(part, ":")
+		kind, err := isa.ParseCoreKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("cell: topology %q: %w", s, err)
+		}
+		count := 1
+		if hasCount {
+			count, err = strconv.Atoi(strings.TrimSpace(countStr))
+			if err != nil {
+				return nil, fmt.Errorf("cell: topology %q: bad count %q", s, countStr)
+			}
+		}
+		t = append(t, CoreGroup{Kind: kind, Count: count})
+	}
+	if len(t) == 0 {
+		return nil, fmt.Errorf("cell: empty topology %q", s)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Validate checks that the topology describes a bootable machine: no
+// negative group, at least one core in total, and at least one PPE (the
+// OS-capable core the GC and syscall service run on).
+func (t Topology) Validate() error {
+	if len(t) == 0 {
+		return fmt.Errorf("cell: empty topology (want e.g. %q)", PS3Topology(6))
+	}
+	total := 0
+	for _, g := range t {
+		if g.Count < 0 {
+			return fmt.Errorf("cell: negative core count %d for %s", g.Count, g.Kind)
+		}
+		total += g.Count
+	}
+	if total == 0 {
+		return fmt.Errorf("cell: topology %q has no cores", t)
+	}
+	if t.Count(isa.PPE) == 0 {
+		return fmt.Errorf("cell: topology %q has no PPE (the GC and syscall service need one)", t)
+	}
+	return nil
+}
+
+// DefaultWorkers returns the conventional benchmark thread count for
+// the machine: one worker per core that hosts workload threads — SPEs
+// when the machine has them, PPEs otherwise.
+func (t Topology) DefaultWorkers() int {
+	if n := t.Count(isa.SPE); n > 0 {
+		return n
+	}
+	return t.Count(isa.PPE)
+}
+
+// Count returns the number of cores of the given kind.
+func (t Topology) Count(kind isa.CoreKind) int {
+	n := 0
+	for _, g := range t {
+		if g.Kind == kind {
+			n += g.Count
+		}
+	}
+	return n
+}
+
+// String renders the topology in the parseable flag syntax, e.g.
+// "ppe:1,spe:6". Groups keep their declaration order (dropping only
+// empty ones) so the string round-trips through ParseTopology to the
+// same machine: core indices — and with them the scheduler's
+// deterministic tie-breaking — follow topology order, so an
+// interleaved "spe:3,ppe:1,spe:3" is not the same machine as
+// "ppe:1,spe:6".
+func (t Topology) String() string {
+	var parts []string
+	for _, g := range t {
+		if g.Count > 0 {
+			parts = append(parts, fmt.Sprintf("%s:%d", strings.ToLower(g.Kind.String()), g.Count))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Describe renders the topology for humans, e.g. "1 PPE + 6 SPEs".
+func (t Topology) Describe() string {
+	var parts []string
+	for _, k := range isa.CoreKinds() {
+		n := t.Count(k)
+		if n == 0 {
+			continue
+		}
+		plural := ""
+		if n != 1 {
+			plural = "s"
+		}
+		parts = append(parts, fmt.Sprintf("%d %s%s", n, k, plural))
+	}
+	return strings.Join(parts, " + ")
+}

@@ -67,7 +67,7 @@ func (s *System) Run(className, methodName string) (*Result, error) {
 func (s *System) Report() string {
 	var b strings.Builder
 	m := s.VM.Machine
-	fmt.Fprintf(&b, "machine: 1 PPE + %d SPEs, clock %d cycles\n", len(m.SPEs), m.MaxClock())
+	fmt.Fprintf(&b, "machine: %s, clock %d cycles\n", m.Describe(), m.MaxClock())
 
 	for _, c := range m.Cores() {
 		st := &c.Stats

@@ -65,7 +65,8 @@ func (o Options) logf(format string, args ...any) {
 // RunStats captures one benchmark execution.
 type RunStats struct {
 	Workload string
-	NumSPEs  int
+	// Topology is the machine shape the run used, e.g. "ppe:1,spe:6".
+	Topology string
 	// Cycles is the completion time (largest core clock at the end).
 	Cycles cell.Clock
 	// Checksum and Valid report output correctness vs the Go reference.
@@ -83,15 +84,23 @@ type RunStats struct {
 	Migrations  uint64
 }
 
-// runOne executes a workload on a machine with numSPEs SPE cores
-// (0 = everything on the PPE) and optional config mutation.
+// runOne executes a workload on a machine with numSPEs SPE cores beside
+// the single PPE (0 = everything on the PPE). The figure sweeps are
+// PS3-shaped; runOnTopology is the general entry point.
 func runOne(spec workloads.Spec, threads, scale, numSPEs int,
 	mutate func(*vm.Config)) (RunStats, error) {
-	return runOneInspect(spec, threads, scale, numSPEs, mutate, nil)
+	return runOnTopology(spec, threads, scale, cell.PS3Topology(numSPEs), mutate, nil)
 }
 
 // runOneInspect is runOne plus a post-run VM inspection hook.
 func runOneInspect(spec workloads.Spec, threads, scale, numSPEs int,
+	mutate func(*vm.Config), inspect func(*vm.VM)) (RunStats, error) {
+	return runOnTopology(spec, threads, scale, cell.PS3Topology(numSPEs), mutate, inspect)
+}
+
+// runOnTopology executes a workload on a machine of the given shape with
+// optional config mutation and a post-run VM inspection hook.
+func runOnTopology(spec workloads.Spec, threads, scale int, topo cell.Topology,
 	mutate func(*vm.Config), inspect func(*vm.VM)) (RunStats, error) {
 
 	prog, err := spec.Build(threads, scale)
@@ -99,7 +108,7 @@ func runOneInspect(spec workloads.Spec, threads, scale, numSPEs int,
 		return RunStats{}, err
 	}
 	cfg := vm.DefaultConfig()
-	cfg.Machine.NumSPEs = numSPEs
+	cfg.Machine.Topology = topo
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -109,23 +118,25 @@ func runOneInspect(spec workloads.Spec, threads, scale, numSPEs int,
 	}
 	th, err := machine.RunMain(spec.MainClass, "main")
 	if err != nil {
-		return RunStats{}, fmt.Errorf("%s (%d SPEs): %w", spec.Name, numSPEs, err)
+		return RunStats{}, fmt.Errorf("%s (%s): %w", spec.Name, topo, err)
 	}
 
 	st := RunStats{
 		Workload: spec.Name,
-		NumSPEs:  numSPEs,
+		Topology: topo.String(),
 		Cycles:   machine.Machine.MaxClock(),
 		Checksum: int32(uint32(th.Result)),
 		GCs:      machine.GCCount,
 		EIBWait:  machine.Machine.EIB.WaitCycles,
 	}
 	st.Valid = st.Checksum == spec.Reference(threads, scale)
-	st.PPEInstrs = machine.Machine.PPE.Stats.Instrs
+	for _, ppe := range machine.Machine.CoresOf(isa.PPE) {
+		st.PPEInstrs += ppe.Stats.Instrs
+	}
 
 	var busy [isa.NumClasses]uint64
 	var busyTotal, dHits, dMisses, cHits, cMisses uint64
-	for _, spe := range machine.Machine.SPEs {
+	for _, spe := range machine.Machine.CoresOf(isa.SPE) {
 		for i, c := range spe.Stats.Cycles {
 			busy[i] += c
 			busyTotal += c

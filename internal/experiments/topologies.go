@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/isa"
+	"herajvm/internal/workloads"
+)
+
+// TopologySweep generalizes the Figure-4 machine sweep beyond the PS3
+// shape: the same workloads run on a set of declarative topologies —
+// PPE-only hosts, the classic 1+6, multi-PPE symmetric machines and
+// SPE-heavy accelerators — and report completion time relative to the
+// single-PPE baseline. This is the "abstracting processor heterogeneity"
+// claim exercised end-to-end: the programs are identical across rows;
+// only the machine declaration changes.
+type TopologySweep struct {
+	Topologies []cell.Topology
+	Rows       []TopologySweepRow
+}
+
+// TopologySweepRow is one benchmark's series across the topologies.
+type TopologySweepRow struct {
+	Workload string
+	Cycles   []uint64
+	Speedup  []float64 // cycles(ppe:1) / cycles(topology)
+	Valid    bool
+}
+
+// DefaultTopologies returns the sweep's machine shapes: a PPE-only
+// host, the PS3 default, a dual-PPE host, an asymmetric 2 PPE + 2 SPE
+// mix, and an SPE-heavy 1+12 accelerator.
+func DefaultTopologies() []cell.Topology {
+	return []cell.Topology{
+		cell.PS3Topology(0),
+		cell.PS3Topology(6),
+		{{Kind: isa.PPE, Count: 2}},
+		{{Kind: isa.PPE, Count: 2}, {Kind: isa.SPE, Count: 2}},
+		cell.PS3Topology(12),
+	}
+}
+
+// RunTopologySweep executes the 3 workloads x topologies matrix. Thread
+// count follows the machine: one worker per core that can host workload
+// threads under the annotation policy (SPEs when present, PPEs
+// otherwise), so SPE-heavy shapes actually exercise their extra cores.
+func RunTopologySweep(opt Options) (*TopologySweep, error) {
+	topos := DefaultTopologies()
+	out := &TopologySweep{Topologies: topos}
+	for _, spec := range workloads.All() {
+		scale := opt.scale(spec)
+		row := TopologySweepRow{Workload: spec.Name, Valid: true}
+		for _, topo := range topos {
+			st, err := runOnTopology(spec, topo.DefaultWorkers(), scale, topo, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			opt.logf("topo %s: %s done (%d cycles)", spec.Name, topo, st.Cycles)
+			row.Cycles = append(row.Cycles, st.Cycles)
+			row.Valid = row.Valid && st.Valid
+		}
+		for _, c := range row.Cycles {
+			row.Speedup = append(row.Speedup, float64(row.Cycles[0])/float64(c))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Table renders the sweep as text.
+func (t *TopologySweep) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Topology sweep: speedup relative to a single PPE\n")
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for _, topo := range t.Topologies {
+		fmt.Fprintf(&b, " %14s", topo)
+	}
+	fmt.Fprintf(&b, " %7s\n", "valid")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12s", r.Workload)
+		for _, s := range r.Speedup {
+			fmt.Fprintf(&b, " %13.2fx", s)
+		}
+		fmt.Fprintf(&b, " %7v\n", r.Valid)
+	}
+	return b.String()
+}

@@ -1,5 +1,10 @@
 package isa
 
+import (
+	"fmt"
+	"strings"
+)
+
 // CoreKind identifies one of the Cell processor's two core types.
 type CoreKind uint8
 
@@ -18,6 +23,21 @@ func (k CoreKind) String() string {
 		return "PPE"
 	}
 	return "SPE"
+}
+
+// CoreKinds lists every core kind in canonical order (the order machine
+// topologies, memory layouts and reports enumerate kinds).
+func CoreKinds() []CoreKind { return []CoreKind{PPE, SPE} }
+
+// ParseCoreKind parses a core-kind name ("ppe" or "spe", any case).
+func ParseCoreKind(s string) (CoreKind, error) {
+	switch {
+	case strings.EqualFold(s, "ppe"):
+		return PPE, nil
+	case strings.EqualFold(s, "spe"):
+		return SPE, nil
+	}
+	return PPE, fmt.Errorf("isa: unknown core kind %q (want ppe or spe)", s)
 }
 
 // CostTable assigns each machine opcode a static cycle cost and an

@@ -1,0 +1,108 @@
+package vm
+
+import (
+	"container/heap"
+
+	"herajvm/internal/cell"
+)
+
+// The scheduler keeps one event calendar per core instead of scanning
+// every live thread on every step. Each calendar splits its queued
+// threads in two:
+//
+//   - ready:  threads whose ReadyAt has already passed the core's clock.
+//     Their feasible start is the clock itself, so the earliest of them
+//     is simply the one queued first (FIFO order, tracked by a global
+//     enqueue sequence number).
+//   - future: threads whose ReadyAt is still ahead of the clock, ordered
+//     by (ReadyAt, sequence).
+//
+// As the core's clock advances, due entries migrate from future to ready
+// (settle). Picking the next thread machine-wide is then an argmin over
+// per-core calendar heads — O(cores + log queue) per scheduling step
+// rather than O(live threads) — with fully deterministic tie-breaking:
+// earliest feasible start, then lowest core index, then enqueue order.
+
+// calEntry is one queued thread. at snapshots the thread's ReadyAt when
+// it was enqueued (ReadyAt is never mutated while a thread is queued);
+// seq is the global enqueue sequence number that makes ordering total.
+type calEntry struct {
+	t   *Thread
+	at  cell.Clock
+	seq uint64
+}
+
+// seqHeap orders ready entries FIFO by enqueue sequence.
+type seqHeap []calEntry
+
+func (h seqHeap) Len() int           { return len(h) }
+func (h seqHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
+func (h seqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x any)        { *h = append(*h, x.(calEntry)) }
+func (h *seqHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// timeHeap orders future entries by (ReadyAt, enqueue sequence).
+type timeHeap []calEntry
+
+func (h timeHeap) Len() int { return len(h) }
+func (h timeHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timeHeap) Push(x any)   { *h = append(*h, x.(calEntry)) }
+func (h *timeHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// coreCalendar is one core's pending-thread calendar.
+type coreCalendar struct {
+	ready  seqHeap
+	future timeHeap
+}
+
+// push queues a thread, routing it by its ReadyAt relative to now.
+func (c *coreCalendar) push(t *Thread, seq uint64, now cell.Clock) {
+	e := calEntry{t: t, at: t.ReadyAt, seq: seq}
+	if e.at <= now {
+		heap.Push(&c.ready, e)
+	} else {
+		heap.Push(&c.future, e)
+	}
+}
+
+// settle migrates future entries that have come due by now into the
+// ready heap. Clocks only move forward, so entries migrate one way.
+func (c *coreCalendar) settle(now cell.Clock) {
+	for len(c.future) > 0 && c.future[0].at <= now {
+		heap.Push(&c.ready, heap.Pop(&c.future))
+	}
+}
+
+// length is the number of queued threads (the load metric placement
+// uses).
+func (c *coreCalendar) length() int { return len(c.ready) + len(c.future) }
+
+// earliest returns the feasible start time of the calendar's best thread
+// given the core clock: now if anything is already runnable, otherwise
+// the soonest future ReadyAt. ok is false for an empty calendar.
+func (c *coreCalendar) earliest(now cell.Clock) (start cell.Clock, ok bool) {
+	c.settle(now)
+	if len(c.ready) > 0 {
+		return now, true
+	}
+	if len(c.future) > 0 {
+		return c.future[0].at, true
+	}
+	return 0, false
+}
+
+// pop removes and returns the thread earliest() identified. The caller
+// must have seen ok==true from earliest at the same clock.
+func (c *coreCalendar) pop(now cell.Clock) *Thread {
+	c.settle(now)
+	if len(c.ready) > 0 {
+		return heap.Pop(&c.ready).(calEntry).t
+	}
+	return heap.Pop(&c.future).(calEntry).t
+}

@@ -11,17 +11,17 @@ import (
 // objects across the collection), all cores then stall to the barrier,
 // and the PPE performs the mark and sweep.
 func (vm *VM) gc() {
-	ppe := vm.Machine.PPE
+	ppe := vm.servicePPE()
 
 	// SPE caches: write back dirty data, invalidate everything.
 	for i, dc := range vm.dcaches {
-		core := vm.Machine.SPEs[i]
+		core := vm.Machine.CoreAt(isa.SPE, i)
 		core.Now = dc.Purge(core.Now)
 	}
 
 	// Barrier: all cores reach the same point before the world stops.
 	barrier := ppe.Now
-	for _, c := range vm.Machine.Cores() {
+	for _, c := range vm.cores {
 		if c.Now > barrier {
 			barrier = c.Now
 		}
@@ -119,7 +119,8 @@ func (vm *VM) gc() {
 	liveBefore := vm.Heap.LiveObjects()
 	freedObjects, _ := vm.Heap.Sweep(marked)
 
-	// Collector cost runs on the PPE; all cores stall until it finishes.
+	// Collector cost runs on the service PPE; every other core stalls
+	// until it finishes.
 	cycles := vm.Cfg.GCPauseBase + vm.Cfg.GCPerObject*uint64(liveBefore)
 	end := barrier + cycles
 	ppe.AdvanceTo(barrier)
@@ -127,8 +128,10 @@ func (vm *VM) gc() {
 	if ppe.Now < end {
 		ppe.AdvanceTo(end)
 	}
-	for _, c := range vm.Machine.SPEs {
-		c.AdvanceTo(end)
+	for _, c := range vm.cores {
+		if c != ppe {
+			c.AdvanceTo(end)
+		}
 	}
 	vm.GCCount++
 	vm.GCCycles += cycles

@@ -81,6 +81,11 @@ func (c *NativeCtx) Charge(class isa.OpClass, n uint64) { c.Core.Charge(class, n
 // running, e.g. to model accelerator calls.
 func (vm *VM) RegisterNative(tag string, n *Native) { vm.natives[tag] = n }
 
+// servicePPE is the PPE hosting the runtime services (the dedicated
+// syscall service thread and the collector). By convention it is the
+// topology's first PPE; validation guarantees one exists.
+func (vm *VM) servicePPE() *cell.Core { return vm.kindCores[isa.PPE][0] }
+
 // pendingNativeCall carries a JNI native across the SPE->PPE migration.
 type pendingNativeCall struct {
 	native *Native
@@ -119,7 +124,7 @@ func (vm *VM) invokeNative(core *cell.Core, t *Thread, f *Frame, callee *classfi
 			}
 			done := start + vm.Cfg.SyscallServeCycles
 			vm.ppeSvcBusy = done
-			vm.Machine.PPE.Stats.Syscalls++
+			vm.servicePPE().Stats.Syscalls++
 			if err := n.Fn(ctx); err != nil {
 				return vm.nativeTrap(f, callee, err)
 			}

@@ -44,7 +44,7 @@ func (AnnotationPolicy) OnInvoke(vm *VM, t *Thread, callee *classfile.Method, cu
 }
 
 func annotationKind(vm *VM, m *classfile.Method) (isa.CoreKind, bool) {
-	if len(vm.Machine.SPEs) == 0 {
+	if !vm.Machine.HasKind(isa.SPE) {
 		return isa.PPE, m.Annotations[classfile.AnnRunOnPPE]
 	}
 	switch {
@@ -63,9 +63,10 @@ type FixedPolicy struct {
 	Kind isa.CoreKind
 }
 
-// PlaceThread returns the fixed kind.
+// PlaceThread returns the fixed kind (or the PPE when the topology has
+// no core of that kind).
 func (p FixedPolicy) PlaceThread(vm *VM, m *classfile.Method) isa.CoreKind {
-	if p.Kind == isa.SPE && len(vm.Machine.SPEs) == 0 {
+	if !vm.Machine.HasKind(p.Kind) {
 		return isa.PPE
 	}
 	return p.Kind
@@ -120,7 +121,7 @@ func (p *MonitoringPolicy) OnInvoke(vm *VM, t *Thread, callee *classfile.Method,
 }
 
 func (p *MonitoringPolicy) observedKind(vm *VM, m *classfile.Method) (isa.CoreKind, bool) {
-	if len(vm.Machine.SPEs) == 0 {
+	if !vm.Machine.HasKind(isa.SPE) {
 		return isa.PPE, false
 	}
 	c := vm.Monitor.ByMethod[m.ID]

@@ -34,22 +34,25 @@ func (vm *VM) newThread(name string) *Thread {
 	return t
 }
 
-// enqueue places a ready thread on its core's queue.
+// enqueue places a ready thread on its core's event calendar.
 func (vm *VM) enqueue(t *Thread) {
 	t.State = StateReady
-	q := queueIndex(t.Kind, t.CoreID)
-	vm.runq[q] = append(vm.runq[q], t)
+	core := vm.coreFor(t.Kind, t.CoreID)
+	vm.enqSeq++
+	vm.runq[core.Index].push(t, vm.enqSeq, core.Now)
 }
 
-// pickSPE chooses the SPE with the lightest queue (ties: earliest local
-// clock) for a thread entering the SPE pool.
-func (vm *VM) pickSPE() int {
+// pickCore chooses the least-loaded core of the given kind (ties:
+// earliest local clock, then lowest ID) for a thread entering that
+// kind's pool. The machine must have at least one core of the kind.
+func (vm *VM) pickCore(kind isa.CoreKind) int {
+	cores := vm.kindCores[kind]
 	best := 0
-	bestLoad := len(vm.runq[queueIndex(isa.SPE, 0)])
-	bestClock := vm.Machine.SPEs[0].Now
-	for i := 1; i < len(vm.Machine.SPEs); i++ {
-		load := len(vm.runq[queueIndex(isa.SPE, i)])
-		clock := vm.Machine.SPEs[i].Now
+	bestLoad := vm.runq[cores[0].Index].length()
+	bestClock := cores[0].Now
+	for i := 1; i < len(cores); i++ {
+		load := vm.runq[cores[i].Index].length()
+		clock := cores[i].Now
 		if load < bestLoad || (load == bestLoad && clock < bestClock) {
 			best, bestLoad, bestClock = i, load, clock
 		}
@@ -57,16 +60,16 @@ func (vm *VM) pickSPE() int {
 	return best
 }
 
-// place assigns a thread a core of the given kind.
+// place assigns a thread a core of the given kind, falling back to the
+// PPE pool when the topology has no core of that kind (a PPE always
+// exists; the topology validation guarantees it).
 func (vm *VM) place(t *Thread, kind isa.CoreKind) {
-	if kind == isa.SPE && len(vm.Machine.SPEs) == 0 {
+	if !vm.Machine.HasKind(kind) {
 		kind = isa.PPE
 	}
 	t.Kind = kind
-	if kind == isa.PPE {
-		t.CoreID = 0
-	} else {
-		t.CoreID = vm.pickSPE()
+	t.CoreID = vm.pickCore(kind)
+	if kind == isa.SPE {
 		t.needEnsure = true
 	}
 }
@@ -208,33 +211,23 @@ func (vm *VM) Run() error {
 }
 
 // pickNext selects the (core, thread) pair with the earliest feasible
-// start time.
+// start time by comparing per-core calendar heads: earliest start wins,
+// ties go to the lowest core index, and within a core to enqueue order —
+// the same total order the old full scan produced, without the
+// O(live-threads) walk.
 func (vm *VM) pickNext() (*cell.Core, *Thread) {
 	var bestCore *cell.Core
-	var bestThread *Thread
-	var bestQueue int
-	var bestIdx int
 	var bestTime cell.Clock
-
-	consider := func(core *cell.Core, q int) {
-		for i, t := range vm.runq[q] {
-			start := core.Now
-			if t.ReadyAt > start {
-				start = t.ReadyAt
-			}
-			if bestThread == nil || start < bestTime {
-				bestCore, bestThread, bestQueue, bestIdx, bestTime = core, t, q, i, start
-			}
+	for _, core := range vm.cores {
+		start, ok := vm.runq[core.Index].earliest(core.Now)
+		if ok && (bestCore == nil || start < bestTime) {
+			bestCore, bestTime = core, start
 		}
 	}
-	consider(vm.Machine.PPE, 0)
-	for i, spe := range vm.Machine.SPEs {
-		consider(spe, 1+i)
+	if bestCore == nil {
+		return nil, nil
 	}
-	if bestThread != nil {
-		vm.runq[bestQueue] = append(vm.runq[bestQueue][:bestIdx], vm.runq[bestQueue][bestIdx+1:]...)
-	}
-	return bestCore, bestThread
+	return bestCore, vm.runq[bestCore.Index].pop(bestCore.Now)
 }
 
 func (vm *VM) deadlockError() error {

@@ -1,0 +1,217 @@
+package vm
+
+import (
+	"testing"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/classfile"
+	"herajvm/internal/isa"
+)
+
+// topoConfig returns the small test machine reshaped to a topology.
+func topoConfig(topo cell.Topology) Config {
+	cfg := testConfig()
+	cfg.Machine.Topology = topo
+	return cfg
+}
+
+// buildAnnotatedDoubler returns a program whose main calls an
+// SPE-annotated doubling method once (a single migration round trip on
+// machines with SPEs).
+func buildAnnotatedDoubler() *classfile.Program {
+	p := newProg()
+	c := p.NewClass("Mig", nil)
+	hot := c.NewMethod("hot", classfile.FlagStatic, classfile.Int, classfile.Int).
+		Annotate(classfile.AnnRunOnSPE)
+	{
+		a := hot.Asm()
+		a.LoadI(0)
+		a.ConstI(2)
+		a.MulI()
+		a.Ret()
+		a.MustBuild()
+	}
+	m := c.NewMethod("main", classfile.FlagStatic, classfile.Int)
+	a := m.Asm()
+	a.ConstI(21)
+	a.InvokeStatic(hot)
+	a.Ret()
+	a.MustBuild()
+	return p
+}
+
+func TestPickCoreLeastLoadedTieBreak(t *testing.T) {
+	vm, err := New(topoConfig(cell.PS3Topology(3)), newProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty queues, equal clocks: ties resolve to the lowest ID.
+	if got := vm.pickCore(isa.SPE); got != 0 {
+		t.Errorf("all-idle pick = SPE%d, want SPE0", got)
+	}
+	// A queued thread on SPE0 makes it heavier than its siblings.
+	busy := vm.newThread("busy")
+	busy.Kind, busy.CoreID = isa.SPE, 0
+	vm.enqueue(busy)
+	if got := vm.pickCore(isa.SPE); got != 1 {
+		t.Errorf("pick with SPE0 loaded = SPE%d, want SPE1", got)
+	}
+	// Equal loads: the earliest local clock wins.
+	vm.Machine.CoreAt(isa.SPE, 1).Now = 100
+	if got := vm.pickCore(isa.SPE); got != 2 {
+		t.Errorf("pick with SPE1 ahead = SPE%d, want SPE2", got)
+	}
+	// The kind-generalized pool also balances PPEs on multi-PPE machines.
+	vm2, err := New(topoConfig(cell.Topology{{Kind: isa.PPE, Count: 2}}), newProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := vm2.newThread("first")
+	vm2.place(first, isa.PPE)
+	vm2.enqueue(first)
+	second := vm2.newThread("second")
+	vm2.place(second, isa.PPE)
+	if first.CoreID == second.CoreID {
+		t.Errorf("two threads placed on PPE%d; multi-PPE placement should spread", first.CoreID)
+	}
+}
+
+func TestPlaceFallsBackToPPEWithoutSPEs(t *testing.T) {
+	// A PPE-only topology must still run SPE-annotated code (on the PPE)
+	// under every placement policy that could request an SPE.
+	for name, policy := range map[string]Policy{
+		"fixed-spe":  FixedPolicy{Kind: isa.SPE},
+		"annotation": AnnotationPolicy{},
+	} {
+		cfg := topoConfig(cell.PS3Topology(0))
+		cfg.Policy = policy
+		vm, th := runMain(t, cfg, buildAnnotatedDoubler(), "Mig", "main")
+		if got := int32(uint32(th.Result)); got != 42 {
+			t.Errorf("%s: result = %d, want 42", name, got)
+		}
+		if th.Migrations != 0 {
+			t.Errorf("%s: thread migrated %d times on a PPE-only machine", name, th.Migrations)
+		}
+		if vm.Machine.CoresOf(isa.PPE)[0].Stats.Instrs == 0 {
+			t.Errorf("%s: PPE never executed", name)
+		}
+	}
+}
+
+func TestMigrationRoundTripOnAsymmetricTopology(t *testing.T) {
+	topo := cell.Topology{{Kind: isa.PPE, Count: 2}, {Kind: isa.SPE, Count: 2}}
+	vm, th := runMain(t, topoConfig(topo), buildAnnotatedDoubler(), "Mig", "main")
+	if got := int32(uint32(th.Result)); got != 42 {
+		t.Errorf("result across migration: %d, want 42", got)
+	}
+	if th.Migrations < 2 {
+		t.Errorf("expected a PPE->SPE->PPE round trip, got %d migrations", th.Migrations)
+	}
+	var ppeOut, speIn uint64
+	for _, p := range vm.Machine.CoresOf(isa.PPE) {
+		ppeOut += p.Stats.MigrationsOut
+	}
+	for _, s := range vm.Machine.CoresOf(isa.SPE) {
+		speIn += s.Stats.MigrationsIn
+	}
+	if ppeOut == 0 || speIn == 0 {
+		t.Errorf("migration stats empty: ppe out=%d spe in=%d", ppeOut, speIn)
+	}
+}
+
+func TestWorkersSpreadAcrossAsymmetricMachine(t *testing.T) {
+	// Six SPE-annotated workers on a 2 PPE + 2 SPE machine: the total
+	// must be exact (JMM coherence) and both SPEs must see work.
+	topo := cell.Topology{{Kind: isa.PPE, Count: 2}, {Kind: isa.SPE, Count: 2}}
+	p := buildWorkerProgram(6, classfile.AnnRunOnSPE)
+	vm, th := runMain(t, topoConfig(topo), p, "Main", "main")
+	if got := int32(uint32(th.Result)); got != 2100 {
+		t.Errorf("total = %d, want 2100", got)
+	}
+	for i, s := range vm.Machine.CoresOf(isa.SPE) {
+		if s.Stats.Instrs == 0 {
+			t.Errorf("SPE%d never executed", i)
+		}
+	}
+}
+
+// TestSchedulingDeterminism runs the same multi-threaded, migrating
+// workload twice and demands bit-identical machine time and instruction
+// counts: the event-calendar scheduler must break every tie
+// deterministically.
+func TestSchedulingDeterminism(t *testing.T) {
+	run := func() (cell.Clock, []uint64) {
+		topo := cell.Topology{{Kind: isa.PPE, Count: 2}, {Kind: isa.SPE, Count: 2}}
+		p := buildWorkerProgram(6, classfile.AnnRunOnSPE)
+		vm, th := runMain(t, topoConfig(topo), p, "Main", "main")
+		if th.Trap != nil {
+			t.Fatal(th.Trap)
+		}
+		var instrs []uint64
+		for _, c := range vm.Machine.Cores() {
+			instrs = append(instrs, c.Stats.Instrs)
+		}
+		return vm.Machine.MaxClock(), instrs
+	}
+	clockA, instrsA := run()
+	clockB, instrsB := run()
+	if clockA != clockB {
+		t.Errorf("cycle counts differ across identical runs: %d vs %d", clockA, clockB)
+	}
+	for i := range instrsA {
+		if instrsA[i] != instrsB[i] {
+			t.Errorf("core %d instruction counts differ: %d vs %d", i, instrsA[i], instrsB[i])
+		}
+	}
+}
+
+// TestCalendarOrdering exercises the two-heap calendar directly: FIFO
+// among already-runnable threads, (ReadyAt, enqueue order) among future
+// ones, and settle migrating entries as the clock advances.
+func TestCalendarOrdering(t *testing.T) {
+	mk := func(at cell.Clock) *Thread { return &Thread{ReadyAt: at} }
+	var cal coreCalendar
+
+	// Two ready threads (ReadyAt <= now) and two future ones.
+	early1, early2 := mk(0), mk(5)
+	late1, late2 := mk(100), mk(100)
+	now := cell.Clock(10)
+	cal.push(early1, 1, now)
+	cal.push(late2, 2, now)
+	cal.push(late1, 3, now)
+	cal.push(early2, 4, now)
+	if cal.length() != 4 {
+		t.Fatalf("length = %d", cal.length())
+	}
+
+	if start, ok := cal.earliest(now); !ok || start != now {
+		t.Fatalf("earliest = %d,%v want %d,true", start, ok, now)
+	}
+	if got := cal.pop(now); got != early1 {
+		t.Error("ready threads must pop in enqueue order (early1 first)")
+	}
+	if got := cal.pop(now); got != early2 {
+		t.Error("ready threads must pop in enqueue order (early2 second)")
+	}
+
+	// Only future threads left: earliest is their ReadyAt; equal ReadyAt
+	// resolves by enqueue order (late2 was pushed before late1).
+	if start, ok := cal.earliest(now); !ok || start != 100 {
+		t.Fatalf("future earliest = %d,%v want 100,true", start, ok)
+	}
+	if got := cal.pop(now); got != late2 {
+		t.Error("future ties must resolve by enqueue order")
+	}
+
+	// Advancing the clock settles due entries into the ready set.
+	now = 200
+	if start, ok := cal.earliest(now); !ok || start != now {
+		t.Fatalf("post-advance earliest = %d,%v want %d,true", start, ok, now)
+	}
+	if got := cal.pop(now); got != late1 {
+		t.Error("settled thread lost")
+	}
+	if _, ok := cal.earliest(now); ok || cal.length() != 0 {
+		t.Error("calendar should be empty")
+	}
+}

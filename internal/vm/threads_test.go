@@ -126,14 +126,14 @@ func TestThreadsOnSPEsViaAnnotation(t *testing.T) {
 		t.Errorf("total = %d, want 2100", got)
 	}
 	var speInstrs uint64
-	for _, s := range vm.Machine.SPEs {
+	for _, s := range vm.Machine.CoresOf(isa.SPE) {
 		speInstrs += s.Stats.Instrs
 	}
 	if speInstrs == 0 {
 		t.Error("annotated workers never ran on SPEs")
 	}
 	var purges uint64
-	for _, s := range vm.Machine.SPEs {
+	for _, s := range vm.Machine.CoresOf(isa.SPE) {
 		purges += s.Stats.DataPurges
 	}
 	if purges == 0 {
@@ -145,7 +145,7 @@ func TestWorkersSpreadAcrossSPEs(t *testing.T) {
 	p := buildWorkerProgram(6, classfile.AnnRunOnSPE)
 	vm, _ := runMain(t, testConfig(), p, "Main", "main")
 	active := 0
-	for _, s := range vm.Machine.SPEs {
+	for _, s := range vm.Machine.CoresOf(isa.SPE) {
 		if s.Stats.Instrs > 0 {
 			active++
 		}
@@ -184,11 +184,11 @@ func TestMigrationViaAnnotatedMethod(t *testing.T) {
 	if main.Migrations < 2 {
 		t.Errorf("expected a round trip (2 migrations), got %d", main.Migrations)
 	}
-	if vm.Machine.PPE.Stats.MigrationsOut == 0 {
+	if vm.Machine.CoresOf(isa.PPE)[0].Stats.MigrationsOut == 0 {
 		t.Error("PPE should have migrated the thread out")
 	}
 	var speIn uint64
-	for _, s := range vm.Machine.SPEs {
+	for _, s := range vm.Machine.CoresOf(isa.SPE) {
 		speIn += s.Stats.MigrationsIn
 	}
 	if speIn == 0 {
@@ -472,7 +472,7 @@ func TestMonitoringPolicyMigratesFPCode(t *testing.T) {
 		t.Error("monitoring policy never migrated the FP-heavy thread")
 	}
 	var speFP uint64
-	for _, s := range vm.Machine.SPEs {
+	for _, s := range vm.Machine.CoresOf(isa.SPE) {
 		speFP += s.Stats.Cycles[isa.ClassFloat]
 	}
 	if speFP == 0 {

@@ -262,7 +262,7 @@ func TestExceptionAcrossMigrationBoundary(t *testing.T) {
 		t.Errorf("expected a migration round trip, got %d", th.Migrations)
 	}
 	var speIn uint64
-	for _, s := range vm.Machine.SPEs {
+	for _, s := range vm.Machine.CoresOf(isa.SPE) {
 		speIn += s.Stats.MigrationsIn
 	}
 	if speIn == 0 {

@@ -105,6 +105,13 @@ type VM struct {
 	Machine *cell.Machine
 	Heap    *Heap
 
+	// cores and kindCores are the VM's private, stable iteration order
+	// over the machine (the accessors return defensive copies; the
+	// scheduler's hot path must not allocate — or be reordered — per
+	// step).
+	cores     []*cell.Core
+	kindCores map[isa.CoreKind][]*cell.Core
+
 	compilers map[isa.CoreKind]*jit.Compiler
 	dcaches   []*cache.DataCache // per SPE
 	ccaches   []*cache.CodeCache // per SPE
@@ -119,7 +126,8 @@ type VM struct {
 	threads   []*Thread
 	nextTID   int
 	byJavaObj map[Ref]*Thread
-	runq      [][]*Thread // per core (index: 0=PPE, 1..=SPEs)
+	runq      []coreCalendar // per core, indexed by Core.Index
+	enqSeq    uint64         // global enqueue sequence (calendar tie-break)
 	liveCount int
 
 	monitors map[Ref]*monitor
@@ -250,7 +258,7 @@ func New(cfg Config, prog *classfile.Program) (*VM, error) {
 	// Per-SPE software caches: data cache at the bottom of the local
 	// store, code cache above it (the rest models the resident runtime,
 	// stacks and the 2 KB TOC, §3.2.2).
-	for _, spe := range machine.SPEs {
+	for _, spe := range machine.CoresOf(isa.SPE) {
 		need := uint64(cfg.DataCache.Size) + uint64(cfg.CodeCache.Size)
 		if need > uint64(len(spe.LS)) {
 			return nil, fmt.Errorf("vm: caches (%d B) exceed local store (%d B)", need, len(spe.LS))
@@ -259,9 +267,14 @@ func New(cfg Config, prog *classfile.Program) (*VM, error) {
 		vm.ccaches = append(vm.ccaches, cache.NewCodeCache(cfg.CodeCache, spe, cfg.DataCache.Size))
 	}
 
-	// Ready queues: index 0 = PPE, 1..N = SPEs.
-	vm.runq = make([][]*Thread, 1+len(machine.SPEs))
-	vm.adapt = make([]adaptState, len(machine.SPEs))
+	// One scheduling calendar per core, indexed by Core.Index.
+	vm.cores = machine.Cores()
+	vm.kindCores = make(map[isa.CoreKind][]*cell.Core)
+	for _, k := range isa.CoreKinds() {
+		vm.kindCores[k] = machine.CoresOf(k)
+	}
+	vm.runq = make([]coreCalendar, machine.NumCores())
+	vm.adapt = make([]adaptState, machine.NumOf(isa.SPE))
 
 	vm.policy = cfg.Policy
 	if vm.policy == nil {
@@ -301,18 +314,7 @@ func (vm *VM) CodeCacheOf(i int) *cache.CodeCache { return vm.ccaches[i] }
 
 // coreFor maps (kind, id) to the cell core.
 func (vm *VM) coreFor(kind isa.CoreKind, id int) *cell.Core {
-	if kind == isa.PPE {
-		return vm.Machine.PPE
-	}
-	return vm.Machine.SPEs[id]
-}
-
-// queueIndex maps (kind, id) to the ready-queue slot.
-func queueIndex(kind isa.CoreKind, id int) int {
-	if kind == isa.PPE {
-		return 0
-	}
-	return 1 + id
+	return vm.Machine.CoreAt(kind, id)
 }
 
 // intern returns (allocating on first use) the heap String for a Go

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"herajvm/internal/cell"
 	"herajvm/internal/classfile"
 	"herajvm/internal/isa"
 )
@@ -58,10 +59,10 @@ func TestArithmeticOnPPE(t *testing.T) {
 	if int32(uint32(th.Result)) != 1 {
 		t.Errorf("result: %d", int32(uint32(th.Result)))
 	}
-	if vm.Machine.PPE.Now == 0 {
+	if vm.Machine.CoresOf(isa.PPE)[0].Now == 0 {
 		t.Error("PPE clock never advanced")
 	}
-	if vm.Machine.SPEs[0].Stats.Instrs != 0 {
+	if vm.Machine.CoresOf(isa.SPE)[0].Stats.Instrs != 0 {
 		t.Error("SPEs should be idle for an unannotated main")
 	}
 }
@@ -366,12 +367,12 @@ func TestSyscallFromSPEStallsAndProxies(t *testing.T) {
 	if vm.Output() != "7\n" {
 		t.Errorf("output: %q", vm.Output())
 	}
-	spe0 := vm.Machine.SPEs[0]
+	spe0 := vm.Machine.CoresOf(isa.SPE)[0]
 	if spe0.Stats.Syscalls != 1 {
 		t.Errorf("SPE syscalls: %d", spe0.Stats.Syscalls)
 	}
-	if vm.Machine.PPE.Stats.Syscalls != 1 {
-		t.Errorf("PPE service syscalls: %d", vm.Machine.PPE.Stats.Syscalls)
+	if vm.Machine.CoresOf(isa.PPE)[0].Stats.Syscalls != 1 {
+		t.Errorf("PPE service syscalls: %d", vm.Machine.CoresOf(isa.PPE)[0].Stats.Syscalls)
 	}
 }
 
@@ -626,7 +627,7 @@ func TestAdaptiveCacheControllerRebalances(t *testing.T) {
 	a.MustBuild()
 
 	cfg := testConfig()
-	cfg.Machine.NumSPEs = 1
+	cfg.Machine.Topology = cell.PS3Topology(1)
 	cfg.DataCache.Size = 24 << 10 // wrong split on purpose
 	cfg.CodeCache.Size = 168 << 10
 	cfg.AdaptiveCaches = true

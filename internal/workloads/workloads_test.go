@@ -3,6 +3,7 @@ package workloads
 import (
 	"testing"
 
+	"herajvm/internal/cell"
 	"herajvm/internal/isa"
 	"herajvm/internal/vm"
 )
@@ -10,7 +11,7 @@ import (
 func smallConfig(numSPEs int) vm.Config {
 	cfg := vm.DefaultConfig()
 	cfg.Machine.MainMemory = 32 << 20
-	cfg.Machine.NumSPEs = numSPEs
+	cfg.Machine.Topology = cell.PS3Topology(numSPEs)
 	cfg.HeapBytes = 16 << 20
 	cfg.CodeBytes = 2 << 20
 	return cfg
@@ -69,7 +70,7 @@ func TestWorkloadChecksumsMatchReferenceOnSPEs(t *testing.T) {
 				t.Errorf("SPE checksum = %d, want %d", got, want)
 			}
 			var speInstrs uint64
-			for _, spe := range machine.Machine.SPEs {
+			for _, spe := range machine.Machine.CoresOf(isa.SPE) {
 				speInstrs += spe.Stats.Instrs
 			}
 			if speInstrs == 0 {
@@ -112,7 +113,7 @@ func TestWorkloadCharacters(t *testing.T) {
 		cfg.DataCache.Size = 48 << 10
 		cfg.CodeCache.Size = 24 << 10
 		_, machine := runWorkloadCfg(t, s, 1, scale, cfg)
-		spe := machine.Machine.SPEs[0]
+		spe := machine.Machine.CoresOf(isa.SPE)[0]
 		var busy uint64
 		for _, c := range spe.Stats.Cycles {
 			busy += c
