@@ -9,7 +9,8 @@
 //	herajvm -workload compress -spes 1 -scale 2
 //	herajvm -workload mpegaudio -spes 0              # PPE only
 //	herajvm -workload compress -policy monitor       # runtime-monitoring placement
-//	herajvm -workload mandelbrot -topology ppe:2,spe:2   # asymmetric machine
+//	herajvm -workload mandelbrot -topology ppe:2,spe:2       # asymmetric machine
+//	herajvm -workload mandelbrot -topology ppe:1,spe:4,vpu:2 # three core kinds
 package main
 
 import (
@@ -27,7 +28,7 @@ func main() {
 		topology = flag.String("topology", "", `machine topology, e.g. "ppe:1,spe:6" (overrides -spes)`)
 		threads  = flag.Int("threads", 0, "worker threads (default: one per worker core)")
 		scale    = flag.Int("scale", 0, "workload scale (default: workload-specific)")
-		policy   = flag.String("policy", "annotation", "annotation | monitor | ppe | spe")
+		policy   = flag.String("policy", "annotation", "annotation | monitor | <kind> (ppe, spe, vpu: pin all threads to that kind)")
 		dataKB   = flag.Int("datacache", 104, "SPE data cache size in KB")
 		codeKB   = flag.Int("codecache", 88, "SPE code cache size in KB")
 		report   = flag.Bool("report", true, "print the machine report")
@@ -64,13 +65,14 @@ func main() {
 		cfg.Policy = hera.AnnotationPolicy{}
 	case "monitor":
 		cfg.Policy = hera.DefaultMonitoringPolicy()
-	case "ppe":
-		cfg.Policy = hera.FixedPolicy{Kind: hera.PPE}
-	case "spe":
-		cfg.Policy = hera.FixedPolicy{Kind: hera.SPE}
 	default:
-		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
-		os.Exit(2)
+		// Any registered kind name pins every thread to that kind.
+		kind, err := hera.ParseCoreKind(*policy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "unknown policy %q (want annotation, monitor, or a core kind name)\n", *policy)
+			os.Exit(2)
+		}
+		cfg.Policy = hera.FixedPolicy{Kind: kind}
 	}
 
 	prog, err := spec.Build(*threads, *scale)

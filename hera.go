@@ -121,19 +121,40 @@ type (
 	// MonitoringPolicy places threads by observed cycle composition
 	// (the paper's proposed runtime monitoring, §6).
 	MonitoringPolicy = vm.MonitoringPolicy
-	// CoreKind selects PPE or SPE.
+	// CoreKind identifies one registered core kind (PPE, SPE, VPU, or
+	// any kind added via RegisterCoreKind).
 	CoreKind = isa.CoreKind
+	// KindSpec describes a core kind for RegisterCoreKind: name, cost
+	// table, memory model, branch model and service capability.
+	KindSpec = isa.KindSpec
+	// CostTable is a kind's static per-opcode cost/size calibration.
+	CostTable = isa.CostTable
 	// Topology declares a machine's core mix as ordered groups.
 	Topology = cell.Topology
 	// CoreGroup is one run of identical cores in a Topology.
 	CoreGroup = cell.CoreGroup
 )
 
-// Core kinds.
-const (
+// Core kinds. PPE and SPE are the Cell's pair; VPU is the registered
+// GPU-like wide vector core (cheap FP, brutal branches, SPE-style
+// local store).
+var (
 	PPE = isa.PPE
 	SPE = isa.SPE
+	VPU = isa.VPU
 )
+
+// RegisterCoreKind adds a new core kind from a KindSpec — cost table,
+// capability flags and all — and returns its CoreKind value. Once
+// registered, the kind can appear in topologies ("ppe:1,mykind:4"), is
+// scheduled, JIT-compiled and placed like any built-in kind, and the
+// placement policies weigh it by its cost table. See the README's
+// "Adding a new core kind" walkthrough.
+func RegisterCoreKind(s KindSpec) CoreKind { return isa.Register(s) }
+
+// ParseCoreKind parses a registered kind name ("ppe", "spe", "vpu",
+// any case).
+func ParseCoreKind(s string) (CoreKind, error) { return isa.ParseCoreKind(s) }
 
 // DefaultConfig returns a PS3-like machine: one PPE, six SPEs, 256 KB
 // local stores with a 104 KB data cache and 88 KB code cache per SPE.

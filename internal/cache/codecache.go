@@ -41,7 +41,8 @@ type ccEntry struct {
 	size   uint32
 }
 
-// CodeCache is one SPE's software code cache. Method code and TIBs are
+// CodeCache is one local-store core's software code cache. Method code
+// and TIBs are
 // cached whole with bump-pointer allocation; the cache is completely
 // purged when full. Lookup follows the paper's Figure 3 path: the
 // permanently resident 2 KB TOC maps a class ID to its TIB; the (cached)
@@ -60,8 +61,8 @@ type CodeCache struct {
 // NewCodeCache builds a code cache over core's local store at
 // [base, base+cfg.Size).
 func NewCodeCache(cfg CodeCacheConfig, core *cell.Core, base uint32) *CodeCache {
-	if core.Kind != isa.SPE {
-		panic("cache: code cache requires an SPE core")
+	if !core.Kind.UsesLocalStore() {
+		panic("cache: code cache requires a local-store core")
 	}
 	if uint64(base)+uint64(cfg.Size) > uint64(len(core.LS)) {
 		panic(fmt.Sprintf("cache: code cache [%#x,%#x) exceeds local store %#x",

@@ -1,8 +1,9 @@
-// Package cache implements the SPE-side software caches that Hera-JVM
-// layers over the 256 KB local store: the data cache for objects and
+// Package cache implements the software caches that Hera-JVM layers
+// over a core's scratchpad local store: the data cache for objects and
 // array blocks (§3.2.1 of the paper) and the code cache with its class
 // table-of-contents (TOC) and per-class type information blocks (TIBs)
-// (§3.2.2).
+// (§3.2.2). The caches serve any registered core kind whose spec
+// declares a local store — the Cell's SPEs and the GPU-like VPU alike.
 package cache
 
 import (
@@ -58,7 +59,8 @@ type dcEntry struct {
 	dirty    bool
 }
 
-// DataCache is one SPE's software object/array cache. Cached bytes live
+// DataCache is one local-store core's software object/array cache.
+// Cached bytes live
 // in the core's real local store; main memory remains the backing truth
 // only after a flush, which is exactly the (lack of) coherence the paper
 // describes and the Java Memory Model hooks rely on.
@@ -75,8 +77,8 @@ type DataCache struct {
 // NewDataCache builds a data cache over core's local store, occupying
 // [base, base+cfg.Size).
 func NewDataCache(cfg DataCacheConfig, core *cell.Core, base uint32) *DataCache {
-	if core.Kind != isa.SPE {
-		panic("cache: data cache requires an SPE core")
+	if !core.Kind.UsesLocalStore() {
+		panic("cache: data cache requires a local-store core")
 	}
 	if uint64(base)+uint64(cfg.Size) > uint64(len(core.LS)) {
 		panic(fmt.Sprintf("cache: data cache [%#x,%#x) exceeds local store %#x",

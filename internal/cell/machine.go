@@ -40,9 +40,10 @@ func DefaultConfig() Config {
 }
 
 // Core is one simulated processing element. The VM executes Java threads
-// on cores; the core owns the local cycle clock and the per-core hardware
-// (local store + MFC on SPEs, cache hierarchy + branch predictor on the
-// PPE) plus all statistics.
+// on cores; the core owns the local cycle clock and the per-core
+// hardware its kind's spec declares (local store + MFC for local-store
+// kinds, cache hierarchy and branch predictor for hardware-cached
+// kinds) plus all statistics.
 type Core struct {
 	Kind isa.CoreKind
 	// ID is the core's index among cores of its kind: 0..N-1.
@@ -53,24 +54,25 @@ type Core struct {
 	// Now is the core's local clock in cycles.
 	Now Clock
 
-	// LS is the local store (SPE only).
+	// LS is the local store (local-store kinds only).
 	LS []byte
-	// MFC is the memory flow controller (SPE only).
+	// MFC is the memory flow controller (local-store kinds only).
 	MFC *MFC
 
-	// Mem is the hardware cache hierarchy (PPE only).
+	// Mem is the hardware cache hierarchy (hardware-cached kinds only).
 	Mem *PPEMem
-	// BP is the branch predictor (PPE only).
+	// BP is the branch predictor (kinds whose spec declares one).
 	BP *BranchPredictor
 
 	Stats profile.CoreStats
 }
 
-// String names the core, e.g. "PPE" or "SPE2". The first PPE keeps the
-// bare historical name; further same-kind cores are numbered.
+// String names the core, e.g. "PPE" or "SPE2". The first core of a
+// service-hosting kind keeps the bare historical name; further
+// same-kind cores are numbered.
 func (c *Core) String() string {
-	if c.Kind == isa.PPE && c.ID == 0 {
-		return "PPE"
+	if c.Kind.HostsServices() && c.ID == 0 {
+		return c.Kind.String()
 	}
 	return fmt.Sprintf("%s%d", c.Kind, c.ID)
 }
@@ -123,6 +125,11 @@ func NewMachine(cfg Config) (*Machine, error) {
 	if cfg.LocalStore < 16<<10 {
 		return nil, fmt.Errorf("cell: local store %d too small (min 16 KB)", cfg.LocalStore)
 	}
+	for _, g := range cfg.Topology {
+		if !g.Kind.Known() {
+			return nil, fmt.Errorf("cell: topology names unregistered core kind %s", g.Kind)
+		}
+	}
 	m := &Machine{
 		Cfg:    cfg,
 		Mem:    mem.NewMain(cfg.MainMemory),
@@ -136,13 +143,18 @@ func NewMachine(cfg Config) (*Machine, error) {
 				ID:    len(m.byKind[g.Kind]),
 				Index: len(m.cores),
 			}
-			switch g.Kind {
-			case isa.PPE:
-				c.Mem = NewPPEMem(cfg.PPEMem)
-				c.BP = NewBranchPredictor(cfg.BranchPredictorBits)
-			case isa.SPE:
+			// The kind's spec decides the per-core hardware: local-store
+			// kinds get a scratchpad and an MFC (the software caches layer
+			// on top in the VM); hardware-cached kinds get the coherent
+			// cache hierarchy; predictor-equipped kinds get a predictor.
+			if g.Kind.UsesLocalStore() {
 				c.LS = make([]byte, cfg.LocalStore)
 				c.MFC = NewMFC(cfg.MFC, m.EIB, m.Mem, c.LS)
+			} else {
+				c.Mem = NewPPEMem(cfg.PPEMem)
+			}
+			if g.Kind.PredictsBranches() {
+				c.BP = NewBranchPredictor(cfg.BranchPredictorBits)
 			}
 			m.cores = append(m.cores, c)
 			m.byKind[g.Kind] = append(m.byKind[g.Kind], c)
@@ -182,6 +194,17 @@ func (m *Machine) HasKind(kind isa.CoreKind) bool { return len(m.byKind[kind]) >
 
 // CoreAt returns core id of the given kind.
 func (m *Machine) CoreAt(kind isa.CoreKind, id int) *Core { return m.byKind[kind][id] }
+
+// InstrsOf returns the total instructions retired on cores of the kind
+// (the usual "did work land where we expected" probe in reports,
+// examples and tests).
+func (m *Machine) InstrsOf(kind isa.CoreKind) uint64 {
+	var n uint64
+	for _, c := range m.byKind[kind] {
+		n += c.Stats.Instrs
+	}
+	return n
+}
 
 // Describe renders the machine's core mix, e.g. "1 PPE + 6 SPEs".
 func (m *Machine) Describe() string { return m.Cfg.Topology.Describe() }

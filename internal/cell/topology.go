@@ -66,36 +66,49 @@ func ParseTopology(s string) (Topology, error) {
 }
 
 // Validate checks that the topology describes a bootable machine: no
-// negative group, at least one core in total, and at least one PPE (the
-// OS-capable core the GC and syscall service run on).
+// negative group, at least one core in total, and at least one core of
+// a service-hosting kind (the OS-capable core the GC and syscall
+// service run on — a PPE in the Cell's topologies).
 func (t Topology) Validate() error {
 	if len(t) == 0 {
 		return fmt.Errorf("cell: empty topology (want e.g. %q)", PS3Topology(6))
 	}
-	total := 0
+	total, service := 0, 0
 	for _, g := range t {
 		if g.Count < 0 {
 			return fmt.Errorf("cell: negative core count %d for %s", g.Count, g.Kind)
 		}
 		total += g.Count
+		if g.Kind.HostsServices() {
+			service += g.Count
+		}
 	}
 	if total == 0 {
 		return fmt.Errorf("cell: topology %q has no cores", t)
 	}
-	if t.Count(isa.PPE) == 0 {
-		return fmt.Errorf("cell: topology %q has no PPE (the GC and syscall service need one)", t)
+	if service == 0 {
+		return fmt.Errorf("cell: topology %q has no service-hosting core (the GC and syscall service need one, e.g. a PPE)", t)
 	}
 	return nil
 }
 
 // DefaultWorkers returns the conventional benchmark thread count for
-// the machine: one worker per core that hosts workload threads — SPEs
-// when the machine has them, PPEs otherwise.
+// the machine: one worker per core that hosts workload threads —
+// accelerator cores (kinds that cannot host the runtime services) when
+// the machine has them, service cores otherwise.
 func (t Topology) DefaultWorkers() int {
-	if n := t.Count(isa.SPE); n > 0 {
-		return n
+	accel, service := 0, 0
+	for _, g := range t {
+		if g.Kind.HostsServices() {
+			service += g.Count
+		} else {
+			accel += g.Count
+		}
 	}
-	return t.Count(isa.PPE)
+	if accel > 0 {
+		return accel
+	}
+	return service
 }
 
 // Count returns the number of cores of the given kind.

@@ -72,12 +72,14 @@ func (s *System) Report() string {
 	for _, c := range m.Cores() {
 		st := &c.Stats
 		fmt.Fprintf(&b, "%-5s busy=%-12d idle=%-12d instrs=%-12d", c, st.Busy(), st.Idle, st.Instrs)
-		if c.Kind == isa.SPE {
+		if c.Kind.UsesLocalStore() {
 			fmt.Fprintf(&b, " dcache=%.3f ccache=%.3f dma=%s",
 				st.DataHitRate(), st.CodeHitRate(), fmtBytes(st.DMABytes))
 		} else {
-			fmt.Fprintf(&b, " l1=%.3f l2=%.3f bp=%.3f",
-				c.Mem.L1.HitRate(), c.Mem.L2.HitRate(), c.BP.Accuracy())
+			fmt.Fprintf(&b, " l1=%.3f l2=%.3f", c.Mem.L1.HitRate(), c.Mem.L2.HitRate())
+			if c.BP != nil {
+				fmt.Fprintf(&b, " bp=%.3f", c.BP.Accuracy())
+			}
 		}
 		fmt.Fprintf(&b, " mig in/out=%d/%d\n", st.MigrationsIn, st.MigrationsOut)
 	}
@@ -100,11 +102,15 @@ func (s *System) Report() string {
 
 	fmt.Fprintf(&b, "eib: %d transfers, %s, %d wait cycles\n",
 		m.EIB.Transfers, fmtBytes(m.EIB.Bytes), m.EIB.WaitCycles)
-	ppeJIT := s.VM.Compiler(isa.PPE)
-	speJIT := s.VM.Compiler(isa.SPE)
-	fmt.Fprintf(&b, "jit: PPE %d methods/%s, SPE %d methods/%s\n",
-		ppeJIT.Compiles, fmtBytes(ppeJIT.CodeBytes),
-		speJIT.Compiles, fmtBytes(speJIT.CodeBytes))
+	var jitParts []string
+	for _, k := range isa.CoreKinds() {
+		c := s.VM.Compiler(k)
+		if c == nil {
+			continue
+		}
+		jitParts = append(jitParts, fmt.Sprintf("%s %d methods/%s", k, c.Compiles, fmtBytes(c.CodeBytes)))
+	}
+	fmt.Fprintf(&b, "jit: %s\n", strings.Join(jitParts, ", "))
 	fmt.Fprintf(&b, "gc: %d collections, %d cycles, %d live objects, %s live\n",
 		s.VM.GCCount, s.VM.GCCycles, s.VM.Heap.LiveObjects(), fmtBytes(uint64(s.VM.Heap.LiveBytes())))
 

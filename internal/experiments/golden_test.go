@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestFigure4Golden is the determinism gate: the default PS3 topology
+// must reproduce the checked-in Figure-4 tables byte for byte. Any
+// change to the scheduler, the cost tables, the memory model or the
+// placement policies that perturbs the default machine's behaviour
+// shows up here as a diff. Regenerate testdata/golden_fig4.txt (4a then
+// 4b, quick sizes — see .github/workflows/ci.yml) only when a change is
+// *meant* to shift the figures, and say so in the commit.
+func TestFigure4Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Figure-4 replay skipped in -short mode")
+	}
+	golden, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden_fig4.txt"))
+	if err != nil {
+		t.Fatalf("golden file: %v", err)
+	}
+	a, err := RunFig4a(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig4b(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.Table() + "\n" + b.Table() + "\n"
+	if got != string(golden) {
+		t.Errorf("Figure-4 output diverged from testdata/golden_fig4.txt:\n--- want ---\n%s--- got ---\n%s",
+			golden, got)
+	}
+}

@@ -72,16 +72,19 @@ type RunStats struct {
 	// Checksum and Valid report output correctness vs the Go reference.
 	Checksum int32
 	Valid    bool
-	// SPE aggregates (across all SPE cores).
+	// Accelerator aggregates across all local-store cores (the SPEs on
+	// the PS3 shape, plus any VPUs the topology declares); the field
+	// names keep the paper's SPE vocabulary.
 	SPEShares   [isa.NumClasses]float64
 	DataHitRate float64
 	CodeHitRate float64
 	DMABytes    uint64
 	SPEInstrs   uint64
-	PPEInstrs   uint64
-	GCs         uint64
-	EIBWait     uint64
-	Migrations  uint64
+	// PPEInstrs aggregates across service-hosting cores.
+	PPEInstrs  uint64
+	GCs        uint64
+	EIBWait    uint64
+	Migrations uint64
 }
 
 // runOne executes a workload on a machine with numSPEs SPE cores beside
@@ -130,24 +133,27 @@ func runOnTopology(spec workloads.Spec, threads, scale int, topo cell.Topology,
 		EIBWait:  machine.Machine.EIB.WaitCycles,
 	}
 	st.Valid = st.Checksum == spec.Reference(threads, scale)
-	for _, ppe := range machine.Machine.CoresOf(isa.PPE) {
-		st.PPEInstrs += ppe.Stats.Instrs
-	}
 
 	var busy [isa.NumClasses]uint64
 	var busyTotal, dHits, dMisses, cHits, cMisses uint64
-	for _, spe := range machine.Machine.CoresOf(isa.SPE) {
-		for i, c := range spe.Stats.Cycles {
-			busy[i] += c
-			busyTotal += c
+	for _, c := range machine.Machine.Cores() {
+		if c.Kind.HostsServices() {
+			st.PPEInstrs += c.Stats.Instrs
 		}
-		dHits += spe.Stats.DataHits
-		dMisses += spe.Stats.DataMisses
-		cHits += spe.Stats.CodeHits
-		cMisses += spe.Stats.CodeMisses
-		st.DMABytes += spe.Stats.DMABytes
-		st.SPEInstrs += spe.Stats.Instrs
-		st.Migrations += spe.Stats.MigrationsIn
+		if !c.Kind.UsesLocalStore() {
+			continue
+		}
+		for i, cy := range c.Stats.Cycles {
+			busy[i] += cy
+			busyTotal += cy
+		}
+		dHits += c.Stats.DataHits
+		dMisses += c.Stats.DataMisses
+		cHits += c.Stats.CodeHits
+		cMisses += c.Stats.CodeMisses
+		st.DMABytes += c.Stats.DMABytes
+		st.SPEInstrs += c.Stats.Instrs
+		st.Migrations += c.Stats.MigrationsIn
 	}
 	if busyTotal > 0 {
 		for i := range busy {

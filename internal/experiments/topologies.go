@@ -31,7 +31,8 @@ type TopologySweepRow struct {
 
 // DefaultTopologies returns the sweep's machine shapes: a PPE-only
 // host, the PS3 default, a dual-PPE host, an asymmetric 2 PPE + 2 SPE
-// mix, and an SPE-heavy 1+12 accelerator.
+// mix, an SPE-heavy 1+12 accelerator, and a three-kind machine that
+// swaps two SPEs for GPU-like VPUs.
 func DefaultTopologies() []cell.Topology {
 	return []cell.Topology{
 		cell.PS3Topology(0),
@@ -39,6 +40,7 @@ func DefaultTopologies() []cell.Topology {
 		{{Kind: isa.PPE, Count: 2}},
 		{{Kind: isa.PPE, Count: 2}, {Kind: isa.SPE, Count: 2}},
 		cell.PS3Topology(12),
+		{{Kind: isa.PPE, Count: 1}, {Kind: isa.SPE, Count: 4}, {Kind: isa.VPU, Count: 2}},
 	}
 }
 

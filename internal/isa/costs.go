@@ -1,45 +1,5 @@
 package isa
 
-import (
-	"fmt"
-	"strings"
-)
-
-// CoreKind identifies one of the Cell processor's two core types.
-type CoreKind uint8
-
-const (
-	// PPE is the PowerPC Processing Element: the single general-purpose
-	// core with coherent hardware caches and OS support.
-	PPE CoreKind = iota
-	// SPE is a Synergistic Processing Element: a floating-point-oriented
-	// core with a 256 KB local store and no direct main-memory access.
-	SPE
-)
-
-// String returns "PPE" or "SPE".
-func (k CoreKind) String() string {
-	if k == PPE {
-		return "PPE"
-	}
-	return "SPE"
-}
-
-// CoreKinds lists every core kind in canonical order (the order machine
-// topologies, memory layouts and reports enumerate kinds).
-func CoreKinds() []CoreKind { return []CoreKind{PPE, SPE} }
-
-// ParseCoreKind parses a core-kind name ("ppe" or "spe", any case).
-func ParseCoreKind(s string) (CoreKind, error) {
-	switch {
-	case strings.EqualFold(s, "ppe"):
-		return PPE, nil
-	case strings.EqualFold(s, "spe"):
-		return SPE, nil
-	}
-	return PPE, fmt.Errorf("isa: unknown core kind %q (want ppe or spe)", s)
-}
-
 // CostTable assigns each machine opcode a static cycle cost and an
 // encoded size in bytes for one core type. Costs are calibration values,
 // not silicon measurements: they are chosen so that the relative
@@ -244,12 +204,4 @@ func SPECosts() *CostTable {
 	t.OpSize[OpMonitorExit] = 24
 	t.OpSize[OpReturn] = 12 // re-lookup of caller on return (§3.2.2)
 	return t
-}
-
-// Costs returns the default cost table for the given core kind.
-func Costs(k CoreKind) *CostTable {
-	if k == PPE {
-		return PPECosts()
-	}
-	return SPECosts()
 }

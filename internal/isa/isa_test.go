@@ -53,7 +53,7 @@ func TestElemKindSizes(t *testing.T) {
 }
 
 func TestCostTablesPopulated(t *testing.T) {
-	for _, kind := range []CoreKind{PPE, SPE} {
+	for _, kind := range CoreKinds() {
 		tab := Costs(kind)
 		for o := Op(0); int(o) < NumOps; o++ {
 			if o == OpNop {

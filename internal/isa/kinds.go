@@ -1,0 +1,210 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CoreKind identifies one registered processor core kind. Kinds are
+// small dense integers assigned in registration order, so they index
+// arrays and maps cheaply; the registry below maps each kind to its
+// KindSpec descriptor. The VM never switches on a particular kind —
+// everything it needs to know (memory model, branch model, cost table,
+// runtime-service capability) is a capability query on the spec, which
+// is what lets a new kind be added by data alone.
+type CoreKind uint8
+
+// KindSpec describes one core kind: its name, how to build its cost
+// table, and the capabilities that drive every kind-dependent decision
+// in the machine model and the runtime.
+type KindSpec struct {
+	// Name is the canonical upper-case kind name ("PPE", "SPE", ...);
+	// topology strings and ParseCoreKind match it case-insensitively.
+	Name string
+
+	// NewCosts builds a fresh cost table for the kind (static per-opcode
+	// cycle costs, encoded sizes, branch penalty, prologue shape).
+	NewCosts func() *CostTable
+
+	// LocalStore selects the kind's memory model: true means an
+	// SPE-style scratchpad local store reached through software data and
+	// code caches plus DMA; false means hardware-coherent caches in
+	// front of main memory.
+	LocalStore bool
+
+	// HostsServices reports whether the kind can host the runtime
+	// services: the collector, the syscall mailbox service thread and OS
+	// support. Every bootable topology needs at least one core of a
+	// service-capable kind.
+	HostsServices bool
+
+	// BranchPredictor selects the branch model: true gives each core a
+	// hardware predictor (mispredicts charged probabilistically); false
+	// models static compiler hints, charging the cost table's
+	// BranchTakenExtra on every taken conditional branch.
+	BranchPredictor bool
+
+	// MemAccessCycles estimates the average dynamic cost of one heap
+	// access on this kind (hardware-cache hit latency, or software-cache
+	// probe plus amortised DMA). Placement policies rank kinds by it for
+	// memory-bound work; it does not feed the cycle-accurate simulation.
+	MemAccessCycles float64
+}
+
+// kindSpecs and kindTables are the registry: kindSpecs[k] describes
+// kind k, kindTables[k] caches one cost table per kind for the
+// capability and score queries (compilers build their own via Costs).
+var (
+	kindSpecs  []KindSpec
+	kindTables []*CostTable
+)
+
+// Register adds a core kind to the registry and returns its CoreKind
+// value. It panics on a nameless spec, a missing cost-table constructor
+// or a duplicate name (names are compared case-insensitively, matching
+// ParseCoreKind). Registration normally happens at package init; the
+// returned values are dense and ordered by registration.
+func Register(s KindSpec) CoreKind {
+	if s.Name == "" {
+		panic("isa: core kind registered without a name")
+	}
+	if s.NewCosts == nil {
+		panic(fmt.Sprintf("isa: core kind %q registered without a cost table", s.Name))
+	}
+	for _, e := range kindSpecs {
+		if strings.EqualFold(e.Name, s.Name) {
+			panic(fmt.Sprintf("isa: core kind %q already registered", s.Name))
+		}
+	}
+	if len(kindSpecs) >= 256 {
+		panic("isa: core kind registry full")
+	}
+	kindSpecs = append(kindSpecs, s)
+	kindTables = append(kindTables, s.NewCosts())
+	return CoreKind(len(kindSpecs) - 1)
+}
+
+// The Cell's two kinds. Registration order fixes the numeric values
+// (PPE=0, SPE=1), which topology order, scheduling tie-breaks and the
+// experiment tables all rely on; the VPU (vpu.go) registers third.
+var (
+	// PPE is the PowerPC Processing Element: the single general-purpose
+	// core with coherent hardware caches and OS support.
+	PPE = Register(KindSpec{
+		Name:            "PPE",
+		NewCosts:        PPECosts,
+		HostsServices:   true,
+		BranchPredictor: true,
+		MemAccessCycles: 6, // mostly L1 hits at 4 cycles, occasional L2/main
+	})
+	// SPE is a Synergistic Processing Element: a floating-point-oriented
+	// core with a 256 KB local store and no direct main-memory access.
+	SPE = Register(KindSpec{
+		Name:            "SPE",
+		NewCosts:        SPECosts,
+		LocalStore:      true,
+		MemAccessCycles: 30, // probe + access + amortised DMA misses
+	})
+)
+
+// Spec returns the registered descriptor for a kind. It panics for an
+// unregistered kind; use Known to probe.
+func Spec(k CoreKind) KindSpec {
+	if !k.Known() {
+		panic(fmt.Sprintf("isa: unregistered core kind %d", k))
+	}
+	return kindSpecs[k]
+}
+
+// Known reports whether k is a registered kind.
+func (k CoreKind) Known() bool { return int(k) < len(kindSpecs) }
+
+// NumKinds returns how many kinds are registered.
+func NumKinds() int { return len(kindSpecs) }
+
+// CoreKinds lists every registered core kind in registration order (the
+// order machine topologies, memory layouts and reports enumerate kinds).
+func CoreKinds() []CoreKind {
+	out := make([]CoreKind, len(kindSpecs))
+	for i := range out {
+		out[i] = CoreKind(i)
+	}
+	return out
+}
+
+// String returns the registered kind name, or "kind(N)" for a value no
+// registered kind owns.
+func (k CoreKind) String() string {
+	if !k.Known() {
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+	return kindSpecs[k].Name
+}
+
+// ParseCoreKind parses a registered kind name ("ppe", "spe", "vpu",
+// any case).
+func ParseCoreKind(s string) (CoreKind, error) {
+	for i, e := range kindSpecs {
+		if strings.EqualFold(e.Name, s) {
+			return CoreKind(i), nil
+		}
+	}
+	names := make([]string, len(kindSpecs))
+	for i, e := range kindSpecs {
+		names[i] = strings.ToLower(e.Name)
+	}
+	return 0, fmt.Errorf("isa: unknown core kind %q (want %s)", s, strings.Join(names, ", "))
+}
+
+// Costs returns a fresh default cost table for the given kind. Each
+// compiler owns its table; mutating the result never affects the
+// registry's cached copy used by the score queries.
+func Costs(k CoreKind) *CostTable {
+	return Spec(k).NewCosts()
+}
+
+// UsesLocalStore reports whether the kind reaches memory through an
+// SPE-style local store with software caches and DMA (true), or through
+// hardware-coherent caches (false).
+func (k CoreKind) UsesLocalStore() bool { return k.Known() && kindSpecs[k].LocalStore }
+
+// HostsServices reports whether the kind can host the runtime services
+// (GC, the syscall mailbox service thread, OS support).
+func (k CoreKind) HostsServices() bool { return k.Known() && kindSpecs[k].HostsServices }
+
+// PredictsBranches reports whether cores of the kind carry a hardware
+// branch predictor (false means static hints with a fixed taken-branch
+// penalty).
+func (k CoreKind) PredictsBranches() bool { return k.Known() && kindSpecs[k].BranchPredictor }
+
+// FPScore is the kind's predicted per-operation floating-point cost,
+// averaged over the common FP arithmetic opcodes. Placement policies
+// send FP-dominated work to the registered kind that minimises it.
+func (k CoreKind) FPScore() float64 {
+	Spec(k) // descriptive panic for unregistered kinds
+	t := kindTables[k]
+	return float64(uint64(t.OpCost[OpAddF])+uint64(t.OpCost[OpMulF])+
+		uint64(t.OpCost[OpAddD])+uint64(t.OpCost[OpMulD])) / 4
+}
+
+// MemScore is the kind's predicted cost of one heap access: the static
+// address-generation cost plus the spec's dynamic estimate. Placement
+// policies send memory-dominated work to the kind that minimises it.
+func (k CoreKind) MemScore() float64 {
+	s := Spec(k)
+	return float64(kindTables[k].OpCost[OpGetField]) + s.MemAccessCycles
+}
+
+// CodePressure is the kind's mean encoded instruction size in bytes —
+// how hard its compiled code presses on a code cache of a given size
+// (the SPE's inline cache probes and hint slots make it larger than the
+// PPE's; a wide vector ISA larger still).
+func (k CoreKind) CodePressure() float64 {
+	Spec(k) // descriptive panic for unregistered kinds
+	t := kindTables[k]
+	var total uint64
+	for o := Op(0); int(o) < NumOps; o++ {
+		total += uint64(t.OpSize[o])
+	}
+	return float64(total) / float64(NumOps)
+}

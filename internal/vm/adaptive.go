@@ -9,13 +9,13 @@ import (
 // Adaptive cache sizing implements the paper's proposed future work:
 // "these results ... suggest that adaptive sizing of the code and data
 // caches would likely benefit many applications" (§4). When enabled,
-// each SPE periodically compares how often its software data and code
-// caches missed over the last window and shifts local-store budget
-// toward the needier cache. Resizing purges both caches (dirty data is
-// written back first), exactly like the flush-when-full path, so it is
-// always safe; it just costs a refill.
+// each local-store core periodically compares how often its software
+// data and code caches missed over the last window and shifts
+// local-store budget toward the needier cache. Resizing purges both
+// caches (dirty data is written back first), exactly like the
+// flush-when-full path, so it is always safe; it just costs a refill.
 
-// adaptState tracks one SPE's controller window.
+// adaptState tracks one local-store core's controller window.
 type adaptState struct {
 	lastCheck    cell.Clock
 	lastDataMiss uint64
@@ -23,12 +23,13 @@ type adaptState struct {
 	resizes      uint64
 }
 
-// maybeAdapt runs the controller for an SPE core if its window expired.
+// maybeAdapt runs the controller for a local-store core if its window
+// expired.
 func (vm *VM) maybeAdapt(core *cell.Core) {
-	if !vm.Cfg.AdaptiveCaches || core.Kind != isa.SPE {
+	if !vm.Cfg.AdaptiveCaches || vm.dcaches[core.Index] == nil {
 		return
 	}
-	st := &vm.adapt[core.ID]
+	st := &vm.adapt[core.Index]
 	interval := vm.Cfg.AdaptiveIntervalCycles
 	if interval == 0 {
 		interval = 2_000_000
@@ -47,41 +48,42 @@ func (vm *VM) maybeAdapt(core *cell.Core) {
 		step = 16 << 10
 	}
 	minSize := uint32(16) << 10
-	dSize := vm.dcaches[core.ID].Config().Size
-	cSize := vm.ccaches[core.ID].Config().Size
+	dSize := vm.dcaches[core.Index].Config().Size
+	cSize := vm.ccaches[core.Index].Config().Size
 
 	// Both miss kinds cost roughly one DMA; shift toward the side that
 	// missed decisively more.
 	switch {
 	case dMiss > 2*cMiss && dMiss > 64 && cSize >= minSize+step:
-		vm.resizeSPECaches(core, dSize+step, cSize-step)
+		vm.resizeLocalCaches(core, dSize+step, cSize-step)
 		st.resizes++
 	case cMiss > 2*dMiss && cMiss > 64 && dSize >= minSize+step:
-		vm.resizeSPECaches(core, dSize-step, cSize+step)
+		vm.resizeLocalCaches(core, dSize-step, cSize+step)
 		st.resizes++
 	}
 }
 
-// resizeSPECaches rebuilds an SPE's software caches with a new split of
-// the same local-store region. Dirty data is written back first; both
-// caches restart cold.
-func (vm *VM) resizeSPECaches(core *cell.Core, dataSize, codeSize uint32) {
-	core.Now = vm.dcaches[core.ID].Purge(core.Now)
+// resizeLocalCaches rebuilds a local-store core's software caches with a
+// new split of the same local-store region. Dirty data is written back
+// first; both caches restart cold.
+func (vm *VM) resizeLocalCaches(core *cell.Core, dataSize, codeSize uint32) {
+	core.Now = vm.dcaches[core.Index].Purge(core.Now)
 	core.Charge(isa.ClassMainMem, 5000) // controller + remap overhead
 
-	dcfg := vm.dcaches[core.ID].Config()
+	dcfg := vm.dcaches[core.Index].Config()
 	dcfg.Size = dataSize
-	ccfg := vm.ccaches[core.ID].Config()
+	ccfg := vm.ccaches[core.Index].Config()
 	ccfg.Size = codeSize
-	vm.dcaches[core.ID] = cache.NewDataCache(dcfg, core, 0)
-	vm.ccaches[core.ID] = cache.NewCodeCache(ccfg, core, dataSize)
+	vm.dcaches[core.Index] = cache.NewDataCache(dcfg, core, 0)
+	vm.ccaches[core.Index] = cache.NewCodeCache(ccfg, core, dataSize)
 }
 
-// AdaptiveResizes reports how many times SPE i's controller resized its
-// caches (for reports and tests).
-func (vm *VM) AdaptiveResizes(i int) uint64 { return vm.adapt[i].resizes }
+// AdaptiveResizes reports how many times the i-th local-store core's
+// controller resized its caches (for reports and tests).
+func (vm *VM) AdaptiveResizes(i int) uint64 { return vm.adapt[vm.lsCores[i]].resizes }
 
-// CacheSplit returns SPE i's current (data, code) cache sizes in bytes.
+// CacheSplit returns the i-th local-store core's current (data, code)
+// cache sizes in bytes.
 func (vm *VM) CacheSplit(i int) (uint32, uint32) {
-	return vm.dcaches[i].Config().Size, vm.ccaches[i].Config().Size
+	return vm.dcaches[vm.lsCores[i]].Config().Size, vm.ccaches[vm.lsCores[i]].Config().Size
 }

@@ -12,8 +12,8 @@ import (
 // execute runs t on core for up to quantum cycles, or until the thread
 // blocks, terminates or migrates. It interprets the JIT-compiled machine
 // instructions, charging each to the core's clock and operation-class
-// counters; memory instructions route through the SPE software caches or
-// the PPE hardware-cache model.
+// counters; memory instructions route through the core's software caches
+// (local-store kinds) or its hardware-cache model.
 func (vm *VM) execute(core *cell.Core, t *Thread, quantum uint64) {
 	deadline := core.Now + quantum
 	for t.State == StateRunning && core.Now < deadline {
@@ -96,16 +96,20 @@ func (vm *VM) step(core *cell.Core, t *Thread, f *Frame, in isa.Instr) error {
 	popRef := func() Ref { v, _ := f.pop(); return Ref(v) }
 	pushRef := func(r Ref) { f.push(uint64(r), true) }
 
+	// The kind's branch model: a hardware predictor charges its penalty
+	// on mispredicts; a statically hinted core (the compiler hints
+	// fall-through) pays the kind's BranchTakenExtra on every taken
+	// conditional branch.
 	branch := func(target int32, taken bool) {
-		if core.Kind == isa.PPE {
+		if core.BP != nil {
 			site := uint32(f.CM.M.ID)<<12 ^ uint32(f.PC)
 			if !core.BP.Predict(site, taken) {
-				penalty := uint64(vm.compilers[isa.PPE].Costs().BranchTakenExtra)
+				penalty := uint64(vm.compilers[core.Kind].Costs().BranchTakenExtra)
 				core.Charge(isa.ClassBranch, penalty)
 				f.chargeDyn(isa.ClassBranch, penalty)
 			}
 		} else if taken {
-			penalty := uint64(vm.compilers[isa.SPE].Costs().BranchTakenExtra)
+			penalty := uint64(vm.compilers[core.Kind].Costs().BranchTakenExtra)
 			core.Charge(isa.ClassBranch, penalty)
 			f.chargeDyn(isa.ClassBranch, penalty)
 		}
@@ -543,7 +547,7 @@ func (vm *VM) step(core *cell.Core, t *Thread, f *Frame, in isa.Instr) error {
 		f.PC++
 		adv = false
 		if !vm.monitorEnter(core, t, obj) {
-			t.needPurge = core.Kind == isa.SPE
+			t.needPurge = core.Kind.UsesLocalStore()
 		}
 	case isa.OpMonitorExit:
 		obj := popRef()
@@ -679,15 +683,16 @@ func (vm *VM) arrayLength(core *cell.Core, f *Frame, arr Ref) uint32 {
 }
 
 // loadMem performs a data load through the core's memory path:
-//   - SPE: the software data cache (whole-object or array-block policy
-//     per isArray), honouring volatile purge-before-read;
-//   - PPE: the L1/L2 hardware model plus a direct main-memory read.
+//   - local-store kinds: the software data cache (whole-object or
+//     array-block policy per isArray), honouring volatile
+//     purge-before-read;
+//   - hardware-cached kinds: the L1/L2 hardware model plus a direct
+//     main-memory read.
 //
 // unit is the base address of the cacheable unit (object header or array
 // data), unitSize its size, off the byte offset of the access.
 func (vm *VM) loadMem(core *cell.Core, f *Frame, unit Ref, unitSize, off, width uint32, flags int32, isArray bool) uint64 {
-	if core.Kind == isa.SPE {
-		dc := vm.dcaches[core.ID]
+	if dc := vm.dcaches[core.Index]; dc != nil {
 		if flags&isa.FlagVolatile != 0 && !vm.Cfg.UnsafeNoCoherence {
 			core.Now = dc.Purge(core.Now) // acquire: observe other cores' writes
 		}
@@ -715,10 +720,9 @@ func (vm *VM) loadMem(core *cell.Core, f *Frame, unit Ref, unitSize, off, width 
 }
 
 // storeMem is the store counterpart of loadMem, honouring volatile
-// flush-after-write on the SPE.
+// flush-after-write on local-store kinds.
 func (vm *VM) storeMem(core *cell.Core, f *Frame, unit Ref, unitSize, off, width uint32, val uint64, flags int32, isArray bool) {
-	if core.Kind == isa.SPE {
-		dc := vm.dcaches[core.ID]
+	if dc := vm.dcaches[core.Index]; dc != nil {
 		before := core.Now
 		if isArray {
 			core.Now = dc.WriteArray(core.Now, unit, unitSize, off, width, val)

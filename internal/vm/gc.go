@@ -6,21 +6,23 @@ import (
 
 // gc runs a stop-the-world mark-and-sweep collection. As in the paper's
 // evaluation configuration, the collector "only runs on the PPE core"
-// (§4): every SPE first flushes and purges its software data cache (so
-// the PPE sees all writes and no SPE holds stale pointers to freed
-// objects across the collection), all cores then stall to the barrier,
-// and the PPE performs the mark and sweep.
+// (§4) — the service core, in registry terms: every local-store core
+// first flushes and purges its software data cache (so the collector
+// sees all writes and no core holds stale pointers to freed objects
+// across the collection), all cores then stall to the barrier, and the
+// service core performs the mark and sweep.
 func (vm *VM) gc() {
-	ppe := vm.servicePPE()
+	svc := vm.serviceCore()
 
-	// SPE caches: write back dirty data, invalidate everything.
-	for i, dc := range vm.dcaches {
-		core := vm.Machine.CoreAt(isa.SPE, i)
-		core.Now = dc.Purge(core.Now)
+	// Software data caches: write back dirty data, invalidate everything.
+	for _, core := range vm.cores {
+		if dc := vm.dcaches[core.Index]; dc != nil {
+			core.Now = dc.Purge(core.Now)
+		}
 	}
 
 	// Barrier: all cores reach the same point before the world stops.
-	barrier := ppe.Now
+	barrier := svc.Now
 	for _, c := range vm.cores {
 		if c.Now > barrier {
 			barrier = c.Now
@@ -119,17 +121,17 @@ func (vm *VM) gc() {
 	liveBefore := vm.Heap.LiveObjects()
 	freedObjects, _ := vm.Heap.Sweep(marked)
 
-	// Collector cost runs on the service PPE; every other core stalls
+	// Collector cost runs on the service core; every other core stalls
 	// until it finishes.
 	cycles := vm.Cfg.GCPauseBase + vm.Cfg.GCPerObject*uint64(liveBefore)
 	end := barrier + cycles
-	ppe.AdvanceTo(barrier)
-	ppe.Charge(isa.ClassMainMem, cycles)
-	if ppe.Now < end {
-		ppe.AdvanceTo(end)
+	svc.AdvanceTo(barrier)
+	svc.Charge(isa.ClassMainMem, cycles)
+	if svc.Now < end {
+		svc.AdvanceTo(end)
 	}
 	for _, c := range vm.cores {
-		if c != ppe {
+		if c != svc {
 			c.AdvanceTo(end)
 		}
 	}

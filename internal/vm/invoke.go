@@ -21,8 +21,12 @@ func (vm *VM) invoke(core *cell.Core, t *Thread, f *Frame, callee *classfile.Met
 
 	// Placement decision: "migration occurs when invoking a method which
 	// has either been tagged by an annotation or selected by the
-	// scheduler" (§3.1).
+	// scheduler" (§3.1). A policy naming a kind the machine lacks lands
+	// on the service kind, mirroring place().
 	desired := vm.policy.OnInvoke(vm, t, callee, core.Kind)
+	if !vm.Machine.HasKind(desired) {
+		desired = vm.serviceKind()
+	}
 	migrating := desired != core.Kind
 
 	cm, compileCycles, err := vm.compileFor(desired, callee)
@@ -65,7 +69,7 @@ func (vm *VM) invoke(core *cell.Core, t *Thread, f *Frame, callee *classfile.Met
 			// Blocked: the frame is pushed; the monitor will be granted
 			// before the thread resumes.
 			t.pushFrame(nf)
-			t.needPurge = core.Kind == isa.SPE
+			t.needPurge = core.Kind.UsesLocalStore()
 			if migrating {
 				// Keep it simple and correct: blocked synchronized calls
 				// complete the migration when granted.
@@ -87,7 +91,7 @@ func (vm *VM) invoke(core *cell.Core, t *Thread, f *Frame, callee *classfile.Met
 	}
 
 	t.pushFrame(nf)
-	if core.Kind == isa.SPE {
+	if core.Kind.UsesLocalStore() {
 		vm.ensureCode(core, cm)
 	}
 	return nil
@@ -144,7 +148,7 @@ func (vm *VM) returnFrom(core *cell.Core, t *Thread, val uint64, isRef, hasVal b
 		return
 	}
 
-	if core.Kind == isa.SPE {
+	if core.Kind.UsesLocalStore() {
 		// The caller's code may have been purged while the callee ran:
 		// repeat the lookup (§3.2.2).
 		vm.reenterCode(core, top.CM)

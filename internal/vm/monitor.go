@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"herajvm/internal/cell"
-	"herajvm/internal/isa"
 )
 
 // monitor is the VM-side state of one object's lock: the owner and
@@ -36,8 +35,8 @@ func (vm *VM) writeLockWord(obj Ref, m *monitor) {
 
 // monitorEnter attempts to acquire obj's monitor for t on core. It
 // returns false when the thread blocked (the caller must stop executing
-// it). On the SPE, a successful acquire purges the software data cache
-// (acquire barrier, §3.2.1).
+// it). On a local-store core, a successful acquire purges the software
+// data cache (acquire barrier, §3.2.1).
 func (vm *VM) monitorEnter(core *cell.Core, t *Thread, obj Ref) bool {
 	m := vm.monitorOf(obj)
 	switch {
@@ -52,22 +51,23 @@ func (vm *VM) monitorEnter(core *cell.Core, t *Thread, obj Ref) bool {
 		return false
 	}
 	vm.writeLockWord(obj, m)
-	if core.Kind == isa.SPE && !vm.Cfg.UnsafeNoCoherence {
-		core.Now = vm.dcaches[core.ID].Purge(core.Now)
+	if dc := vm.dcaches[core.Index]; dc != nil && !vm.Cfg.UnsafeNoCoherence {
+		core.Now = dc.Purge(core.Now)
 	}
 	return true
 }
 
-// monitorExit releases obj's monitor. On the SPE, dirty cached data is
-// flushed before the release becomes visible (release barrier, §3.2.1).
+// monitorExit releases obj's monitor. On a local-store core, dirty
+// cached data is flushed before the release becomes visible (release
+// barrier, §3.2.1).
 func (vm *VM) monitorExit(core *cell.Core, t *Thread, obj Ref) error {
 	m := vm.monitorOf(obj)
 	if m.owner != t {
 		return &TrapError{Kind: "IllegalMonitorStateException",
 			Detail: fmt.Sprintf("thread %d does not own monitor %#x", t.ID, obj)}
 	}
-	if core.Kind == isa.SPE && !vm.Cfg.UnsafeNoCoherence {
-		core.Now = vm.dcaches[core.ID].Flush(core.Now)
+	if dc := vm.dcaches[core.Index]; dc != nil && !vm.Cfg.UnsafeNoCoherence {
+		core.Now = dc.Flush(core.Now)
 	}
 	m.count--
 	if m.count > 0 {
@@ -105,8 +105,8 @@ func (vm *VM) monitorWait(core *cell.Core, t *Thread, obj Ref) error {
 	if m.owner != t {
 		return &TrapError{Kind: "IllegalMonitorStateException", Detail: "wait without lock"}
 	}
-	if core.Kind == isa.SPE {
-		core.Now = vm.dcaches[core.ID].Flush(core.Now)
+	if dc := vm.dcaches[core.Index]; dc != nil {
+		core.Now = dc.Flush(core.Now)
 	}
 	t.waitCount = m.count
 	m.owner = nil

@@ -18,12 +18,13 @@ const (
 	// NativeCompute runs in place on the current core (pure computation,
 	// e.g. java/lang/Math).
 	NativeCompute NativeKind = iota
-	// NativeSyscall is a runtime fast syscall: on an SPE it is shipped
-	// to the dedicated PPE service thread by mailbox message and the
-	// calling thread stalls for the round trip.
+	// NativeSyscall is a runtime fast syscall: on a core whose kind
+	// cannot host runtime services it is shipped to the dedicated
+	// service-core thread by mailbox message and the calling thread
+	// stalls for the round trip.
 	NativeSyscall
-	// NativeJNI migrates the thread to the PPE for the duration of the
-	// native method, then migrates back.
+	// NativeJNI migrates the thread to the service core's kind for the
+	// duration of the native method, then migrates back.
 	NativeJNI
 )
 
@@ -34,8 +35,9 @@ type NativeFunc func(ctx *NativeCtx) error
 // Native describes one registered native method.
 type Native struct {
 	Kind NativeKind
-	// Cycles is the compute cost on the PPE; SPECycles overrides it on
-	// SPEs when nonzero.
+	// Cycles is the compute cost on a hardware-cached core (the PPE);
+	// SPECycles, when nonzero, overrides it on local-store accelerator
+	// cores (SPE, VPU).
 	Cycles    uint64
 	SPECycles uint64
 	// Class is the operation class the compute cost is billed to.
@@ -81,12 +83,14 @@ func (c *NativeCtx) Charge(class isa.OpClass, n uint64) { c.Core.Charge(class, n
 // running, e.g. to model accelerator calls.
 func (vm *VM) RegisterNative(tag string, n *Native) { vm.natives[tag] = n }
 
-// servicePPE is the PPE hosting the runtime services (the dedicated
+// serviceCore is the core hosting the runtime services (the dedicated
 // syscall service thread and the collector). By convention it is the
-// topology's first PPE; validation guarantees one exists.
-func (vm *VM) servicePPE() *cell.Core { return vm.kindCores[isa.PPE][0] }
+// topology's first core of a service-hosting kind; validation
+// guarantees one exists.
+func (vm *VM) serviceCore() *cell.Core { return vm.service }
 
-// pendingNativeCall carries a JNI native across the SPE->PPE migration.
+// pendingNativeCall carries a JNI native across the migration to the
+// service core.
 type pendingNativeCall struct {
 	native *Native
 	ctx    *NativeCtx
@@ -113,18 +117,18 @@ func (vm *VM) invokeNative(core *cell.Core, t *Thread, f *Frame, callee *classfi
 
 	case NativeSyscall:
 		core.Stats.Syscalls++
-		if core.Kind == isa.SPE {
-			// Mailbox message to the dedicated PPE service thread
-			// (§3.2.3): the SPE thread stalls for the round trip; the
+		if !core.Kind.HostsServices() {
+			// Mailbox message to the dedicated service-core thread
+			// (§3.2.3): the calling thread stalls for the round trip; the
 			// service serialises concurrent requests.
 			arrive := core.Now + vm.Cfg.SyscallSendCycles
 			start := arrive
-			if vm.ppeSvcBusy > start {
-				start = vm.ppeSvcBusy
+			if vm.svcBusy > start {
+				start = vm.svcBusy
 			}
 			done := start + vm.Cfg.SyscallServeCycles
-			vm.ppeSvcBusy = done
-			vm.servicePPE().Stats.Syscalls++
+			vm.svcBusy = done
+			vm.serviceCore().Stats.Syscalls++
 			if err := n.Fn(ctx); err != nil {
 				return vm.nativeTrap(f, callee, err)
 			}
@@ -141,13 +145,13 @@ func (vm *VM) invokeNative(core *cell.Core, t *Thread, f *Frame, callee *classfi
 		return nil
 
 	case NativeJNI:
-		if core.Kind == isa.SPE {
+		if !core.Kind.HostsServices() {
 			// "In the case of a JNI method, the thread is migrated to
 			// the PPE core for the duration of the native method"
-			// (§3.2.3).
+			// (§3.2.3) — the service kind, in registry terms.
 			t.pushFrame(&Frame{Marker: true, ReturnKind: core.Kind, ReturnCore: core.ID})
 			t.pendingNative = &pendingNativeCall{native: n, ctx: ctx, callee: callee}
-			vm.migrate(core, t, isa.PPE, nargs)
+			vm.migrate(core, t, vm.serviceKind(), nargs)
 			return nil
 		}
 		return vm.runComputeNative(core, t, f, callee, n, ctx)
@@ -160,7 +164,7 @@ func (vm *VM) runComputeNative(core *cell.Core, t *Thread, f *Frame,
 	callee *classfile.Method, n *Native, ctx *NativeCtx) error {
 
 	cycles := n.Cycles
-	if core.Kind == isa.SPE && n.SPECycles != 0 {
+	if core.Kind.UsesLocalStore() && n.SPECycles != 0 {
 		cycles = n.SPECycles
 	}
 	core.Charge(n.Class, cycles)

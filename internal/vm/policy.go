@@ -6,8 +6,8 @@ import (
 )
 
 // Policy decides thread placement: where new threads start and whether a
-// method invocation should migrate the calling thread to the other core
-// type. This is the paper's central control point — "the runtime system
+// method invocation should migrate the calling thread to another core
+// kind. This is the paper's central control point — "the runtime system
 // transparently maps application threads to the underlying heterogeneous
 // core types, using information about each thread's behaviour (either
 // through code annotations or runtime monitoring)".
@@ -20,19 +20,45 @@ type Policy interface {
 	OnInvoke(vm *VM, t *Thread, callee *classfile.Method, cur isa.CoreKind) isa.CoreKind
 }
 
+// serviceKind is the kind of the core hosting the runtime services —
+// the general-purpose, OS-capable kind unannotated threads start on and
+// every fallback lands on.
+func (vm *VM) serviceKind() isa.CoreKind { return vm.service.Kind }
+
+// cheapestKind returns the machine's registered kind minimising the
+// given predicted-cost score (ties break toward the earlier-registered
+// kind, keeping the choice deterministic). The second result is false
+// when the machine is homogeneous — with a single kind there is no
+// placement decision to make, so callers skip migration entirely.
+func (vm *VM) cheapestKind(score func(isa.CoreKind) float64) (isa.CoreKind, bool) {
+	if len(vm.presentKinds) < 2 {
+		return vm.serviceKind(), false
+	}
+	best := vm.presentKinds[0]
+	bestScore := score(best)
+	for _, k := range vm.presentKinds[1:] {
+		if s := score(k); s < bestScore {
+			best, bestScore = k, s
+		}
+	}
+	return best, true
+}
+
 // AnnotationPolicy is the paper's annotation-hint scheme (§3): explicit
-// RunOnSPE/RunOnPPE placement, with FloatIntensive treated as an SPE
-// hint and MemoryIntensive as a PPE hint. Unannotated code stays where
-// it is.
+// RunOnSPE/RunOnPPE placement, with FloatIntensive sending the thread
+// to the registered kind with the cheapest predicted floating point and
+// MemoryIntensive to the kind with the cheapest predicted memory
+// access. Unannotated code stays where it is.
 type AnnotationPolicy struct{}
 
 // PlaceThread places annotated entry methods accordingly; unannotated
-// threads start on the PPE (the general-purpose, OS-capable core).
+// threads start on the service kind (the general-purpose, OS-capable
+// core).
 func (AnnotationPolicy) PlaceThread(vm *VM, m *classfile.Method) isa.CoreKind {
 	if k, ok := annotationKind(vm, m); ok {
 		return k
 	}
-	return isa.PPE
+	return vm.serviceKind()
 }
 
 // OnInvoke migrates on annotated methods only.
@@ -43,17 +69,31 @@ func (AnnotationPolicy) OnInvoke(vm *VM, t *Thread, callee *classfile.Method, cu
 	return cur
 }
 
+// annotationKind maps a method's placement annotations to a core kind.
+// RunOnSPE/RunOnPPE are explicit pins to the named kind (ignored when
+// the machine lacks it); the behavioural hints pick the registered kind
+// minimising the predicted cost of the hinted behaviour, so a newly
+// registered kind participates without the policy naming it.
 func annotationKind(vm *VM, m *classfile.Method) (isa.CoreKind, bool) {
-	if !vm.Machine.HasKind(isa.SPE) {
-		return isa.PPE, m.Annotations[classfile.AnnRunOnPPE]
-	}
 	switch {
-	case m.Annotations[classfile.AnnRunOnSPE], m.Annotations[classfile.AnnFloatIntensive]:
-		return isa.SPE, true
-	case m.Annotations[classfile.AnnRunOnPPE], m.Annotations[classfile.AnnMemoryIntensive]:
-		return isa.PPE, true
+	case m.Annotations[classfile.AnnRunOnSPE]:
+		if vm.Machine.HasKind(isa.SPE) {
+			return isa.SPE, true
+		}
+	case m.Annotations[classfile.AnnFloatIntensive]:
+		if k, ok := vm.cheapestKind(isa.CoreKind.FPScore); ok {
+			return k, true
+		}
+	case m.Annotations[classfile.AnnRunOnPPE]:
+		if vm.Machine.HasKind(isa.PPE) {
+			return isa.PPE, true
+		}
+	case m.Annotations[classfile.AnnMemoryIntensive]:
+		if k, ok := vm.cheapestKind(isa.CoreKind.MemScore); ok {
+			return k, true
+		}
 	}
-	return isa.PPE, false
+	return vm.serviceKind(), false
 }
 
 // FixedPolicy pins every thread to one core kind and never migrates.
@@ -63,11 +103,11 @@ type FixedPolicy struct {
 	Kind isa.CoreKind
 }
 
-// PlaceThread returns the fixed kind (or the PPE when the topology has
-// no core of that kind).
+// PlaceThread returns the fixed kind (or the service kind when the
+// topology has no core of that kind).
 func (p FixedPolicy) PlaceThread(vm *VM, m *classfile.Method) isa.CoreKind {
 	if !vm.Machine.HasKind(p.Kind) {
-		return isa.PPE
+		return vm.serviceKind()
 	}
 	return p.Kind
 }
@@ -80,12 +120,14 @@ func (p FixedPolicy) OnInvoke(vm *VM, t *Thread, callee *classfile.Method, cur i
 // MonitoringPolicy implements the paper's proposed runtime-monitoring
 // placement (§6): it watches per-method cycle composition gathered by
 // the profiler and migrates threads into methods whose observed
-// behaviour clearly favours one core type. Methods need MinCycles of
-// observation before a decision is made; annotated methods still win.
+// behaviour clearly favours one core kind — the registered kind with
+// the lowest predicted cost for the dominant behaviour, not a
+// hard-coded one. Methods need MinCycles of observation before a
+// decision is made; annotated methods still win.
 type MonitoringPolicy struct {
 	// FPThreshold is the floating-point cycle share above which a method
-	// is an SPE candidate; MemThreshold the main-memory share above
-	// which it is a PPE candidate.
+	// migrates to the cheapest-FP kind; MemThreshold the main-memory
+	// share above which it migrates to the cheapest-memory kind.
 	FPThreshold  float64
 	MemThreshold float64
 	MinCycles    uint64
@@ -98,7 +140,8 @@ func DefaultMonitoringPolicy() *MonitoringPolicy {
 	return &MonitoringPolicy{FPThreshold: 0.25, MemThreshold: 0.45, MinCycles: 100000}
 }
 
-// PlaceThread starts threads on the PPE until monitoring says otherwise.
+// PlaceThread starts threads on the service kind until monitoring says
+// otherwise.
 func (p *MonitoringPolicy) PlaceThread(vm *VM, m *classfile.Method) isa.CoreKind {
 	if k, ok := annotationKind(vm, m); ok {
 		return k
@@ -106,7 +149,7 @@ func (p *MonitoringPolicy) PlaceThread(vm *VM, m *classfile.Method) isa.CoreKind
 	if k, ok := p.observedKind(vm, m); ok {
 		return k
 	}
-	return isa.PPE
+	return vm.serviceKind()
 }
 
 // OnInvoke consults annotations first, then observed behaviour.
@@ -121,25 +164,25 @@ func (p *MonitoringPolicy) OnInvoke(vm *VM, t *Thread, callee *classfile.Method,
 }
 
 func (p *MonitoringPolicy) observedKind(vm *VM, m *classfile.Method) (isa.CoreKind, bool) {
-	if !vm.Machine.HasKind(isa.SPE) {
-		return isa.PPE, false
+	if len(vm.presentKinds) < 2 {
+		return vm.serviceKind(), false
 	}
 	c := vm.Monitor.ByMethod[m.ID]
 	if c == nil {
-		return isa.PPE, false
+		return vm.serviceKind(), false
 	}
 	var total uint64
 	for _, cy := range c.Cycles {
 		total += cy
 	}
 	if total < p.MinCycles {
-		return isa.PPE, false
+		return vm.serviceKind(), false
 	}
 	if c.FPShare() >= p.FPThreshold {
-		return isa.SPE, true
+		return vm.cheapestKind(isa.CoreKind.FPScore)
 	}
 	if c.MemShare() >= p.MemThreshold {
-		return isa.PPE, true
+		return vm.cheapestKind(isa.CoreKind.MemScore)
 	}
-	return isa.PPE, false
+	return vm.serviceKind(), false
 }

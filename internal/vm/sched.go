@@ -15,6 +15,9 @@ import (
 // it is to be executed by a thread running on that core type", §3.1).
 func (vm *VM) compileFor(kind isa.CoreKind, m *classfile.Method) (*jit.CompiledMethod, uint64, error) {
 	c := vm.compilers[kind]
+	if c == nil {
+		return nil, 0, fmt.Errorf("vm: no compiler for core kind %s (machine %s)", kind, vm.Machine.Describe())
+	}
 	if cm := c.Lookup(m); cm != nil {
 		return cm, 0, nil
 	}
@@ -61,15 +64,16 @@ func (vm *VM) pickCore(kind isa.CoreKind) int {
 }
 
 // place assigns a thread a core of the given kind, falling back to the
-// PPE pool when the topology has no core of that kind (a PPE always
-// exists; the topology validation guarantees it).
+// service pool when the topology has no core of that kind (a
+// service-hosting core always exists; the topology validation
+// guarantees it).
 func (vm *VM) place(t *Thread, kind isa.CoreKind) {
 	if !vm.Machine.HasKind(kind) {
-		kind = isa.PPE
+		kind = vm.serviceKind()
 	}
 	t.Kind = kind
 	t.CoreID = vm.pickCore(kind)
-	if kind == isa.SPE {
+	if kind.UsesLocalStore() {
 		t.needEnsure = true
 	}
 }
@@ -156,8 +160,8 @@ func (vm *VM) Run() error {
 		}
 		if t.needPurge {
 			t.needPurge = false
-			if core.Kind == isa.SPE {
-				core.Now = vm.dcaches[core.ID].Purge(core.Now)
+			if dc := vm.dcaches[core.Index]; dc != nil {
+				core.Now = dc.Purge(core.Now)
 			}
 		}
 		if t.needEnsure {
@@ -252,7 +256,7 @@ func (vm *VM) finishThread(core *cell.Core, t *Thread) {
 	t.joiners = nil
 }
 
-// migrate moves t to the other core type after the current instruction,
+// migrate moves t to another core kind after the current instruction,
 // charging the parameter-packaging and transfer cost (§3.1). The caller
 // must already have pushed the migration marker (for call-site
 // migrations) or arranged the frame stack appropriately.
@@ -267,10 +271,10 @@ func (vm *VM) migrate(core *cell.Core, t *Thread, target isa.CoreKind, words int
 	vm.enqueue(t)
 }
 
-// ensureTopFrame warms the SPE code cache for the method about to
-// execute (invoked when a thread lands on an SPE core).
+// ensureTopFrame warms the software code cache for the method about to
+// execute (invoked when a thread lands on a local-store core).
 func (vm *VM) ensureTopFrame(core *cell.Core, t *Thread) {
-	if core.Kind != isa.SPE || len(t.Frames) == 0 {
+	if vm.ccaches[core.Index] == nil || len(t.Frames) == 0 {
 		return
 	}
 	f := t.top()
@@ -280,20 +284,21 @@ func (vm *VM) ensureTopFrame(core *cell.Core, t *Thread) {
 	vm.ensureCode(core, f.CM)
 }
 
-// ensureCode runs the TOC/TIB/method lookup on an SPE for a compiled
-// method, transferring code on a miss.
+// ensureCode runs the TOC/TIB/method lookup on a local-store core for a
+// compiled method, transferring code on a miss.
 func (vm *VM) ensureCode(core *cell.Core, cm *jit.CompiledMethod) {
 	cls := cm.M.Class
 	meta := vm.classes[cls.ID]
-	now, _ := vm.ccaches[core.ID].EnsureMethod(core.Now, cls.ID, meta.tibAddr, meta.tibSize,
+	now, _ := vm.ccaches[core.Index].EnsureMethod(core.Now, cls.ID, meta.tibAddr, meta.tibSize,
 		cm.M.ID, cm.Addr, cm.Size)
 	core.Now = now
 }
 
-// reenterCode charges the SPE return-path lookup for the caller frame.
+// reenterCode charges the return-path code-cache lookup for the caller
+// frame on a local-store core.
 func (vm *VM) reenterCode(core *cell.Core, cm *jit.CompiledMethod) {
 	cls := cm.M.Class
 	meta := vm.classes[cls.ID]
-	core.Now = vm.ccaches[core.ID].Reenter(core.Now, cls.ID, meta.tibAddr, meta.tibSize,
+	core.Now = vm.ccaches[core.Index].Reenter(core.Now, cls.ID, meta.tibAddr, meta.tibSize,
 		cm.M.ID, cm.Addr, cm.Size)
 }

@@ -282,9 +282,9 @@ func (vm *VM) startJavaThread(c *NativeCtx, recv Ref) error {
 }
 
 // sysArraycopy implements System.arraycopy with a per-byte bus cost. On
-// an SPE the copy is performed by the runtime through main memory, so
-// the calling SPE's cached view of the destination is purged first
-// (conservative but correct under the software-cache protocol).
+// a local-store core the copy is performed by the runtime through main
+// memory, so the caller's cached view of the destination is purged
+// first (conservative but correct under the software-cache protocol).
 func sysArraycopy(c *NativeCtx) error {
 	vm := c.VM
 	src, dst := Ref(c.Args[0]), Ref(c.Args[2])
@@ -302,8 +302,7 @@ func sysArraycopy(c *NativeCtx) error {
 	if srcPos < 0 || dstPos < 0 || n < 0 || srcPos+n > slen || dstPos+n > dlen {
 		return &TrapError{Kind: "ArrayIndexOutOfBoundsException", Detail: "arraycopy bounds"}
 	}
-	if c.Core.Kind == isa.SPE {
-		dc := vm.DataCacheOf(c.Core.ID)
+	if dc := vm.dcaches[c.Core.Index]; dc != nil {
 		c.Core.Now = dc.Purge(c.Core.Now)
 	}
 	esz := k.Size()

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"strings"
 
 	"herajvm/internal/cache"
 	"herajvm/internal/cell"
@@ -112,9 +113,21 @@ type VM struct {
 	cores     []*cell.Core
 	kindCores map[isa.CoreKind][]*cell.Core
 
+	// service is the core hosting the runtime services (GC, the syscall
+	// mailbox): the first core, in topology order, of a service-hosting
+	// kind. presentKinds lists the machine's kinds in registry order —
+	// the candidate set the placement policies choose from.
+	service      *cell.Core
+	presentKinds []isa.CoreKind
+
 	compilers map[isa.CoreKind]*jit.Compiler
-	dcaches   []*cache.DataCache // per SPE
-	ccaches   []*cache.CodeCache // per SPE
+	// dcaches/ccaches hold each local-store core's software caches,
+	// indexed by Core.Index (nil for hardware-cached cores); lsCores
+	// lists the local-store core indices in topology order, the ordinal
+	// the public cache accessors use.
+	dcaches []*cache.DataCache
+	ccaches []*cache.CodeCache
+	lsCores []int
 
 	staticsBase mem.Addr
 	staticRefs  []bool // GC ref map for static slots
@@ -137,10 +150,11 @@ type VM struct {
 	policy  Policy
 	Monitor *profile.Monitor
 
-	// ppeSvcBusy serialises the dedicated PPE syscall service thread.
-	ppeSvcBusy cell.Clock
+	// svcBusy serialises the dedicated service-core syscall thread.
+	svcBusy cell.Clock
 
-	// adapt holds per-SPE adaptive-cache controller state.
+	// adapt holds adaptive-cache controller state, indexed by
+	// Core.Index (entries for hardware-cached cores are unused).
 	adapt []adaptState
 
 	stdout       io.Writer
@@ -186,19 +200,27 @@ func New(cfg Config, prog *classfile.Program) (*VM, error) {
 		ifaceMethods: make(map[int]*classfile.Method),
 	}
 
-	// Carve main memory.
+	// Carve main memory: the boot area, then one compiled-code region
+	// per core kind the topology declares (in registry order — "a method
+	// will only be compiled for a particular core architecture if it is
+	// to be executed by a thread running on that core type", §3.1, so a
+	// kind the machine lacks gets neither region nor compiler), then the
+	// heap.
 	layout := mem.NewLayout(cfg.Machine.MainMemory, 4096)
 	boot, err := layout.Carve("boot", cfg.BootBytes)
 	if err != nil {
 		return nil, err
 	}
-	ppeCode, err := layout.Carve("ppe-code", cfg.CodeBytes)
-	if err != nil {
-		return nil, err
-	}
-	speCode, err := layout.Carve("spe-code", cfg.CodeBytes)
-	if err != nil {
-		return nil, err
+	codeRegions := make(map[isa.CoreKind]*mem.Region)
+	for _, k := range isa.CoreKinds() {
+		if !machine.HasKind(k) {
+			continue
+		}
+		region, err := layout.Carve(strings.ToLower(k.String())+"-code", cfg.CodeBytes)
+		if err != nil {
+			return nil, err
+		}
+		codeRegions[k] = region
 	}
 	heapStart, err := layout.Carve("heap", cfg.HeapBytes)
 	if err != nil {
@@ -248,33 +270,54 @@ func New(cfg Config, prog *classfile.Program) (*VM, error) {
 		}
 	}
 
-	// Compilers.
-	vm.compilers[isa.PPE] = jit.NewCompiler(isa.PPE, machine.Mem, ppeCode)
-	vm.compilers[isa.SPE] = jit.NewCompiler(isa.SPE, machine.Mem, speCode)
+	// Compilers: one baseline JIT per kind present in the topology.
+	for k, region := range codeRegions {
+		vm.compilers[k] = jit.NewCompiler(k, machine.Mem, region)
+	}
 	for _, c := range vm.compilers {
 		c.InternString = vm.intern
 	}
 
-	// Per-SPE software caches: data cache at the bottom of the local
-	// store, code cache above it (the rest models the resident runtime,
-	// stacks and the 2 KB TOC, §3.2.2).
-	for _, spe := range machine.CoresOf(isa.SPE) {
-		need := uint64(cfg.DataCache.Size) + uint64(cfg.CodeCache.Size)
-		if need > uint64(len(spe.LS)) {
-			return nil, fmt.Errorf("vm: caches (%d B) exceed local store (%d B)", need, len(spe.LS))
-		}
-		vm.dcaches = append(vm.dcaches, cache.NewDataCache(cfg.DataCache, spe, 0))
-		vm.ccaches = append(vm.ccaches, cache.NewCodeCache(cfg.CodeCache, spe, cfg.DataCache.Size))
-	}
-
-	// One scheduling calendar per core, indexed by Core.Index.
+	// Stable core orderings, the service core and the kind candidate set.
 	vm.cores = machine.Cores()
 	vm.kindCores = make(map[isa.CoreKind][]*cell.Core)
 	for _, k := range isa.CoreKinds() {
 		vm.kindCores[k] = machine.CoresOf(k)
+		if machine.HasKind(k) {
+			vm.presentKinds = append(vm.presentKinds, k)
+		}
 	}
+	for _, c := range vm.cores {
+		if c.Kind.HostsServices() {
+			vm.service = c
+			break
+		}
+	}
+	if vm.service == nil { // topology validation guarantees one
+		return nil, fmt.Errorf("vm: machine %s has no service-hosting core", machine.Describe())
+	}
+
+	// Software caches for every local-store core: data cache at the
+	// bottom of the local store, code cache above it (the rest models
+	// the resident runtime, stacks and the 2 KB TOC, §3.2.2).
+	vm.dcaches = make([]*cache.DataCache, machine.NumCores())
+	vm.ccaches = make([]*cache.CodeCache, machine.NumCores())
+	for _, c := range vm.cores {
+		if !c.Kind.UsesLocalStore() {
+			continue
+		}
+		need := uint64(cfg.DataCache.Size) + uint64(cfg.CodeCache.Size)
+		if need > uint64(len(c.LS)) {
+			return nil, fmt.Errorf("vm: caches (%d B) exceed local store (%d B)", need, len(c.LS))
+		}
+		vm.dcaches[c.Index] = cache.NewDataCache(cfg.DataCache, c, 0)
+		vm.ccaches[c.Index] = cache.NewCodeCache(cfg.CodeCache, c, cfg.DataCache.Size)
+		vm.lsCores = append(vm.lsCores, c.Index)
+	}
+
+	// One scheduling calendar per core, indexed by Core.Index.
 	vm.runq = make([]coreCalendar, machine.NumCores())
-	vm.adapt = make([]adaptState, machine.NumOf(isa.SPE))
+	vm.adapt = make([]adaptState, machine.NumCores())
 
 	vm.policy = cfg.Policy
 	if vm.policy == nil {
@@ -303,14 +346,18 @@ func (vm *VM) Output() string {
 	return vm.outBuf.String()
 }
 
-// Compiler returns the JIT for a core kind.
+// Compiler returns the JIT for a core kind (nil when the machine has no
+// core of that kind — compilers exist only for kinds the topology
+// declares).
 func (vm *VM) Compiler(k isa.CoreKind) *jit.Compiler { return vm.compilers[k] }
 
-// DataCacheOf returns SPE i's software data cache.
-func (vm *VM) DataCacheOf(i int) *cache.DataCache { return vm.dcaches[i] }
+// DataCacheOf returns the software data cache of the i-th local-store
+// core (in topology order; SPE i on the default PS3 shape).
+func (vm *VM) DataCacheOf(i int) *cache.DataCache { return vm.dcaches[vm.lsCores[i]] }
 
-// CodeCacheOf returns SPE i's software code cache.
-func (vm *VM) CodeCacheOf(i int) *cache.CodeCache { return vm.ccaches[i] }
+// CodeCacheOf returns the software code cache of the i-th local-store
+// core (in topology order).
+func (vm *VM) CodeCacheOf(i int) *cache.CodeCache { return vm.ccaches[vm.lsCores[i]] }
 
 // coreFor maps (kind, id) to the cell core.
 func (vm *VM) coreFor(kind isa.CoreKind, id int) *cell.Core {
