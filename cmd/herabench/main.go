@@ -8,6 +8,9 @@
 //	herabench -full           # all figures, paper-shaped sizes
 //	herabench -fig 4a         # just Figure 4(a)
 //	herabench -fig a3 -v      # ablation A3 with progress logging
+//	herabench -fig steal      # calendar vs work-stealing scheduler
+//	herabench -fig 4a -sched steal                      # any figure, stealing scheduler
+//	herabench -full -fig topo -topology "ppe:1,spe:6;ppe:1,spe:4,vpu:2"
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"herajvm/internal/cell"
 	"herajvm/internal/experiments"
 )
 
@@ -24,8 +28,11 @@ type table interface{ Table() string }
 
 func main() {
 	var (
-		fig  = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | topo | all")
-		full = flag.Bool("full", false, "paper-shaped workload sizes (slower)")
+		fig   = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | topo | steal | all")
+		full  = flag.Bool("full", false, "paper-shaped workload sizes (slower)")
+		sched = flag.String("sched", "", "scheduler for every run: calendar | steal (default: calendar)")
+		topos = flag.String("topology", "",
+			`semicolon-separated machine shapes for the topo/steal sweeps, e.g. "ppe:1,spe:6;ppe:1,spe:4,vpu:2"`)
 		verb = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Parse()
@@ -36,6 +43,15 @@ func main() {
 	}
 	if *verb {
 		opt.Progress = os.Stderr
+	}
+	opt.Scheduler = *sched
+	if *topos != "" {
+		list, err := cell.ParseTopologyList(*topos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opt.Topologies = list
 	}
 
 	type experiment struct {
@@ -53,6 +69,7 @@ func main() {
 		{"a3", func(o experiments.Options) (table, error) { return experiments.RunA3(o) }},
 		{"a4", func(o experiments.Options) (table, error) { return experiments.RunA4(o) }},
 		{"topo", func(o experiments.Options) (table, error) { return experiments.RunTopologySweep(o) }},
+		{"steal", func(o experiments.Options) (table, error) { return experiments.RunStealSweep(o) }},
 	}
 
 	want := strings.ToLower(*fig)

@@ -9,6 +9,7 @@
 //	herajvm -workload compress -spes 1 -scale 2
 //	herajvm -workload mpegaudio -spes 0              # PPE only
 //	herajvm -workload compress -policy monitor       # runtime-monitoring placement
+//	herajvm -workload mandelbrot -sched steal        # same-kind work-stealing scheduler
 //	herajvm -workload mandelbrot -topology ppe:2,spe:2       # asymmetric machine
 //	herajvm -workload mandelbrot -topology ppe:1,spe:4,vpu:2 # three core kinds
 package main
@@ -29,6 +30,7 @@ func main() {
 		threads  = flag.Int("threads", 0, "worker threads (default: one per worker core)")
 		scale    = flag.Int("scale", 0, "workload scale (default: workload-specific)")
 		policy   = flag.String("policy", "annotation", "annotation | monitor | <kind> (ppe, spe, vpu: pin all threads to that kind)")
+		sched    = flag.String("sched", "calendar", "scheduler: calendar | steal (same-kind work stealing)")
 		dataKB   = flag.Int("datacache", 104, "SPE data cache size in KB")
 		codeKB   = flag.Int("codecache", 88, "SPE code cache size in KB")
 		report   = flag.Bool("report", true, "print the machine report")
@@ -58,6 +60,7 @@ func main() {
 
 	cfg := hera.DefaultConfig()
 	cfg.Machine.Topology = topo
+	cfg.Scheduler = *sched // validated when the system boots
 	cfg.DataCache.Size = uint32(*dataKB) << 10
 	cfg.CodeCache.Size = uint32(*codeKB) << 10
 	switch *policy {

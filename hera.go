@@ -33,6 +33,7 @@ import (
 	"herajvm/internal/core"
 	"herajvm/internal/experiments"
 	"herajvm/internal/isa"
+	"herajvm/internal/sched"
 	"herajvm/internal/vm"
 	"herajvm/internal/workloads"
 )
@@ -166,6 +167,19 @@ func PS3Topology(numSPEs int) Topology { return cell.PS3Topology(numSPEs) }
 // ParseTopology parses a topology spec such as "ppe:1,spe:6" or
 // "ppe:2,spe:2" — any mix with at least one PPE is a valid machine.
 func ParseTopology(s string) (Topology, error) { return cell.ParseTopology(s) }
+
+// ParseTopologyList parses a semicolon-separated list of topology
+// specs, e.g. "ppe:1,spe:6;ppe:1,spe:4,vpu:2" (the herabench -topology
+// flag syntax).
+func ParseTopologyList(s string) ([]Topology, error) { return cell.ParseTopologyList(s) }
+
+// Schedulers lists the registered scheduler names Config.Scheduler
+// accepts: "calendar" (the default per-core event-calendar scheduler)
+// and "steal" (the calendar plus same-kind work stealing). The
+// scheduling subsystem lives in internal/sched behind a small
+// interface; new algorithms register there like core kinds do in the
+// kind registry.
+func Schedulers() []string { return sched.Names() }
 
 // DefaultMonitoringPolicy returns the runtime-monitoring placement
 // policy with calibrated thresholds.

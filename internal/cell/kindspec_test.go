@@ -1,0 +1,76 @@
+package cell
+
+import (
+	"testing"
+
+	"herajvm/internal/isa"
+)
+
+// bigLS is a test-only local-store kind whose spec sizes its own
+// scratchpad (the registry is append-only, so it is registered once per
+// test binary; default topologies never include it).
+var bigLS = isa.Register(isa.KindSpec{
+	Name:            "BLS",
+	NewCosts:        isa.SPECosts,
+	LocalStore:      true,
+	MemAccessCycles: 30,
+	LocalStoreBytes: 512 << 10,
+})
+
+func TestKindSpecLocalStoreOverride(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Topology = Topology{
+		{Kind: isa.PPE, Count: 1}, {Kind: isa.SPE, Count: 1}, {Kind: bigLS, Count: 2},
+	}
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The SPE keeps the machine-wide default; the override kind gets its
+	// spec's larger scratchpad.
+	if got := len(m.CoresOf(isa.SPE)[0].LS); got != int(cfg.LocalStore) {
+		t.Errorf("SPE local store = %d, want the default %d", got, cfg.LocalStore)
+	}
+	for _, c := range m.CoresOf(bigLS) {
+		if len(c.LS) != 512<<10 {
+			t.Errorf("%v local store = %d, want the 512 KB spec override", c, len(c.LS))
+		}
+		if c.MFC == nil {
+			t.Errorf("%v: local-store core without an MFC", c)
+		}
+	}
+}
+
+func TestParseTopologyList(t *testing.T) {
+	list, err := ParseTopologyList(" ppe:1,spe:6 ; ppe:1,spe:4,vpu:2 ;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 2 {
+		t.Fatalf("got %d topologies, want 2", len(list))
+	}
+	if list[0].String() != "ppe:1,spe:6" || list[1].String() != "ppe:1,spe:4,vpu:2" {
+		t.Errorf("round trip: %v", list)
+	}
+	if _, err := ParseTopologyList("ppe:1;zzz:3"); err == nil {
+		t.Error("unknown kind in a list entry should error")
+	}
+	if _, err := ParseTopologyList(" ; "); err == nil {
+		t.Error("an all-empty list should error")
+	}
+}
+
+func TestKindSpecLocalStoreOverrideTooSmall(t *testing.T) {
+	tiny := isa.Register(isa.KindSpec{
+		Name:            "TLS",
+		NewCosts:        isa.SPECosts,
+		LocalStore:      true,
+		MemAccessCycles: 30,
+		LocalStoreBytes: 8 << 10,
+	})
+	cfg := DefaultConfig()
+	cfg.Topology = Topology{{Kind: isa.PPE, Count: 1}, {Kind: tiny, Count: 1}}
+	if _, err := NewMachine(cfg); err == nil {
+		t.Fatal("an 8 KB local-store override should fail machine construction")
+	}
+}

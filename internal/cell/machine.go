@@ -129,6 +129,9 @@ func NewMachine(cfg Config) (*Machine, error) {
 		if !g.Kind.Known() {
 			return nil, fmt.Errorf("cell: topology names unregistered core kind %s", g.Kind)
 		}
+		if o := isa.Spec(g.Kind).LocalStoreBytes; o != 0 && o < 16<<10 {
+			return nil, fmt.Errorf("cell: %s local-store override %d too small (min 16 KB)", g.Kind, o)
+		}
 	}
 	m := &Machine{
 		Cfg:    cfg,
@@ -147,8 +150,15 @@ func NewMachine(cfg Config) (*Machine, error) {
 			// kinds get a scratchpad and an MFC (the software caches layer
 			// on top in the VM); hardware-cached kinds get the coherent
 			// cache hierarchy; predictor-equipped kinds get a predictor.
+			// A kind's spec may size its own scratchpad (a VPU with a
+			// larger local store than the SPEs); the machine-wide
+			// cfg.LocalStore is the default.
 			if g.Kind.UsesLocalStore() {
-				c.LS = make([]byte, cfg.LocalStore)
+				ls := cfg.LocalStore
+				if o := isa.Spec(g.Kind).LocalStoreBytes; o != 0 {
+					ls = o
+				}
+				c.LS = make([]byte, ls)
 				c.MFC = NewMFC(cfg.MFC, m.EIB, m.Mem, c.LS)
 			} else {
 				c.Mem = NewPPEMem(cfg.PPEMem)

@@ -65,6 +65,29 @@ func ParseTopology(s string) (Topology, error) {
 	return t, nil
 }
 
+// ParseTopologyList parses a semicolon-separated list of topology
+// specs, e.g. "ppe:1,spe:6;ppe:1,spe:4,vpu:2" (the herabench -topology
+// flag syntax). Empty list entries are skipped; at least one topology
+// must remain.
+func ParseTopologyList(s string) ([]Topology, error) {
+	var out []Topology
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		t, err := ParseTopology(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cell: empty topology list %q", s)
+	}
+	return out, nil
+}
+
 // Validate checks that the topology describes a bootable machine: no
 // negative group, at least one core in total, and at least one core of
 // a service-hosting kind (the OS-capable core the GC and syscall

@@ -81,7 +81,11 @@ func (s *System) Report() string {
 				fmt.Fprintf(&b, " bp=%.3f", c.BP.Accuracy())
 			}
 		}
-		fmt.Fprintf(&b, " mig in/out=%d/%d\n", st.MigrationsIn, st.MigrationsOut)
+		fmt.Fprintf(&b, " mig in/out=%d/%d", st.MigrationsIn, st.MigrationsOut)
+		if st.StealsIn+st.StealsOut > 0 {
+			fmt.Fprintf(&b, " steals in/out=%d/%d", st.StealsIn, st.StealsOut)
+		}
+		fmt.Fprintf(&b, "\n")
 	}
 
 	fmt.Fprintf(&b, "classes: ")

@@ -35,7 +35,7 @@ func RunA1(opt Options) (*A1, error) {
 		var cycles []uint64
 		var baseline uint64
 		for _, bs := range A1Sizes {
-			st, err := runOne(spec, 1, scale, 1, func(cfg *vm.Config) {
+			st, err := runOne(opt, spec, 1, scale, 1, func(cfg *vm.Config) {
 				cfg.DataCache.ArrayBlock = uint32(bs)
 			})
 			if err != nil {
@@ -96,11 +96,11 @@ func RunA2(opt Options) (*A2, error) {
 	out := &A2{WorkUnits: A2Work, BreakEvenOps: -1}
 	const calls = 40
 	for _, k := range A2Work {
-		mig, err := runMigrationBench(k, calls, true)
+		mig, err := runMigrationBench(opt, k, calls, true)
 		if err != nil {
 			return nil, err
 		}
-		loc, err := runMigrationBench(k, calls, false)
+		loc, err := runMigrationBench(opt, k, calls, false)
 		if err != nil {
 			return nil, err
 		}
@@ -116,7 +116,7 @@ func RunA2(opt Options) (*A2, error) {
 
 // runMigrationBench runs `calls` invocations of a method doing k units
 // of double arithmetic, annotated RunOnSPE when annotate is set.
-func runMigrationBench(k, calls int, annotate bool) (uint64, error) {
+func runMigrationBench(opt Options, k, calls int, annotate bool) (uint64, error) {
 	p := classfile.NewProgram()
 	vm.Stdlib(p)
 	c := p.NewClass("MigBench", nil)
@@ -167,7 +167,11 @@ func runMigrationBench(k, calls int, annotate bool) (uint64, error) {
 	a.Ret()
 	a.MustBuild()
 
-	machine, err := vm.New(vm.DefaultConfig(), p)
+	cfg := vm.DefaultConfig()
+	if opt.Scheduler != "" {
+		cfg.Scheduler = opt.Scheduler
+	}
+	machine, err := vm.New(cfg, p)
 	if err != nil {
 		return 0, err
 	}
@@ -234,7 +238,7 @@ func RunA3(opt Options) (*A3, error) {
 		var cycles []uint64
 		var baseline uint64
 		for _, sp := range a3Splits {
-			st, err := runOne(spec, 1, scale, 1, func(cfg *vm.Config) {
+			st, err := runOne(opt, spec, 1, scale, 1, func(cfg *vm.Config) {
 				cfg.DataCache.Size = uint32(sp[0]) << 10
 				cfg.CodeCache.Size = uint32(sp[1]) << 10
 			})
@@ -260,7 +264,7 @@ func RunA3(opt Options) (*A3, error) {
 
 		// The adaptive controller, starting from the 104/88 default.
 		var finalData, finalCode uint32
-		ast, err := runOneInspect(spec, 1, scale, 1, func(cfg *vm.Config) {
+		ast, err := runOneInspect(opt, spec, 1, scale, 1, func(cfg *vm.Config) {
 			cfg.DataCache.Size = 104 << 10
 			cfg.CodeCache.Size = 88 << 10
 			cfg.AdaptiveCaches = true
@@ -321,11 +325,11 @@ func RunA4(opt Options) (*A4, error) {
 	out := &A4{}
 	for _, spec := range workloads.All() {
 		scale := opt.scale(spec)
-		sound, err := runOne(spec, minInt(opt.Threads, opt.MaxSPEs), scale, opt.MaxSPEs, nil)
+		sound, err := runOne(opt, spec, minInt(opt.Threads, opt.MaxSPEs), scale, opt.MaxSPEs, nil)
 		if err != nil {
 			return nil, err
 		}
-		unsound, err := runOne(spec, minInt(opt.Threads, opt.MaxSPEs), scale, opt.MaxSPEs, func(cfg *vm.Config) {
+		unsound, err := runOne(opt, spec, minInt(opt.Threads, opt.MaxSPEs), scale, opt.MaxSPEs, func(cfg *vm.Config) {
 			cfg.UnsafeNoCoherence = true
 		})
 		if err != nil {

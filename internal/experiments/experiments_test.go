@@ -210,7 +210,7 @@ func TestA4CoherenceCost(t *testing.T) {
 
 func TestRunStatsValidity(t *testing.T) {
 	spec := workloads.Mandelbrot()
-	st, err := runOne(spec, 2, 1, 2, nil)
+	st, err := runOne(Options{}, spec, 2, 1, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,17 +32,17 @@ func RunFig4a(opt Options) (*Fig4a, error) {
 		// One benchmark thread per core context, as SPECjvm2008 does: a
 		// single thread on the (single-core) PPE and on one SPE, MaxSPEs
 		// threads across MaxSPEs SPEs. Total work is thread-independent.
-		ppe, err := runOne(spec, 1, scale, 0, nil)
+		ppe, err := runOne(opt, spec, 1, scale, 0, nil)
 		if err != nil {
 			return nil, err
 		}
 		opt.logf("fig4a %s: PPE done (%d cycles)", spec.Name, ppe.Cycles)
-		one, err := runOne(spec, 1, scale, 1, nil)
+		one, err := runOne(opt, spec, 1, scale, 1, nil)
 		if err != nil {
 			return nil, err
 		}
 		opt.logf("fig4a %s: 1 SPE done (%d cycles)", spec.Name, one.Cycles)
-		six, err := runOne(spec, minInt(opt.Threads, opt.MaxSPEs), scale, opt.MaxSPEs, nil)
+		six, err := runOne(opt, spec, minInt(opt.Threads, opt.MaxSPEs), scale, opt.MaxSPEs, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -93,7 +93,7 @@ func RunFig4b(opt Options) (*Fig4b, error) {
 		scale := opt.scale(spec)
 		row := Fig4bRow{Workload: spec.Name, Valid: true}
 		for n := 1; n <= opt.MaxSPEs; n++ {
-			st, err := runOne(spec, minInt(opt.Threads, n), scale, n, nil)
+			st, err := runOne(opt, spec, minInt(opt.Threads, n), scale, n, nil)
 			if err != nil {
 				return nil, err
 			}

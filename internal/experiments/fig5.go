@@ -30,7 +30,7 @@ type Fig5Row struct {
 func RunFig5(opt Options) (*Fig5, error) {
 	out := &Fig5{}
 	for _, spec := range workloads.All() {
-		st, err := runOne(spec, 1, opt.scale(spec), 1, nil)
+		st, err := runOne(opt, spec, 1, opt.scale(spec), 1, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -60,7 +60,7 @@ func runCacheSweep(opt Options, figure, axis string, sizes []int,
 		row := CacheSweepRow{Workload: spec.Name, Valid: true}
 		var cycles []uint64
 		for _, kb := range sizes {
-			st, err := runOne(spec, 1, scale, 1, func(cfg *vm.Config) {
+			st, err := runOne(opt, spec, 1, scale, 1, func(cfg *vm.Config) {
 				set(cfg, kb)
 			})
 			if err != nil {

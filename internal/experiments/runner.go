@@ -27,6 +27,14 @@ type Options struct {
 	ScaleOverride map[string]int
 	// MaxSPEs bounds the machine (6 on a PS3).
 	MaxSPEs int
+	// Scheduler names the scheduling algorithm every run uses
+	// ("calendar", "steal"; "" keeps the default). The steal sweep
+	// ignores it — it compares both by construction.
+	Scheduler string
+	// Topologies overrides the machine shapes the topology and steal
+	// sweeps visit (nil keeps each sweep's defaults). herabench fills
+	// it from the -topology flag.
+	Topologies []cell.Topology
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 }
@@ -85,25 +93,30 @@ type RunStats struct {
 	GCs        uint64
 	EIBWait    uint64
 	Migrations uint64
+	// Steals counts same-kind work steals across all cores (nonzero
+	// only under the "steal" scheduler).
+	Steals uint64
 }
 
 // runOne executes a workload on a machine with numSPEs SPE cores beside
 // the single PPE (0 = everything on the PPE). The figure sweeps are
 // PS3-shaped; runOnTopology is the general entry point.
-func runOne(spec workloads.Spec, threads, scale, numSPEs int,
+func runOne(opt Options, spec workloads.Spec, threads, scale, numSPEs int,
 	mutate func(*vm.Config)) (RunStats, error) {
-	return runOnTopology(spec, threads, scale, cell.PS3Topology(numSPEs), mutate, nil)
+	return runOnTopology(opt, spec, threads, scale, cell.PS3Topology(numSPEs), mutate, nil)
 }
 
 // runOneInspect is runOne plus a post-run VM inspection hook.
-func runOneInspect(spec workloads.Spec, threads, scale, numSPEs int,
+func runOneInspect(opt Options, spec workloads.Spec, threads, scale, numSPEs int,
 	mutate func(*vm.Config), inspect func(*vm.VM)) (RunStats, error) {
-	return runOnTopology(spec, threads, scale, cell.PS3Topology(numSPEs), mutate, inspect)
+	return runOnTopology(opt, spec, threads, scale, cell.PS3Topology(numSPEs), mutate, inspect)
 }
 
 // runOnTopology executes a workload on a machine of the given shape with
-// optional config mutation and a post-run VM inspection hook.
-func runOnTopology(spec workloads.Spec, threads, scale int, topo cell.Topology,
+// optional config mutation and a post-run VM inspection hook. The
+// options' scheduler selection applies to every run, so whole figures
+// replay under an alternative scheduler (herabench -sched).
+func runOnTopology(opt Options, spec workloads.Spec, threads, scale int, topo cell.Topology,
 	mutate func(*vm.Config), inspect func(*vm.VM)) (RunStats, error) {
 
 	prog, err := spec.Build(threads, scale)
@@ -112,6 +125,9 @@ func runOnTopology(spec workloads.Spec, threads, scale int, topo cell.Topology,
 	}
 	cfg := vm.DefaultConfig()
 	cfg.Machine.Topology = topo
+	if opt.Scheduler != "" {
+		cfg.Scheduler = opt.Scheduler
+	}
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -140,6 +156,7 @@ func runOnTopology(spec workloads.Spec, threads, scale int, topo cell.Topology,
 		if c.Kind.HostsServices() {
 			st.PPEInstrs += c.Stats.Instrs
 		}
+		st.Steals += c.Stats.StealsIn
 		if !c.Kind.UsesLocalStore() {
 			continue
 		}

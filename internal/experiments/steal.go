@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/isa"
+	"herajvm/internal/workloads"
+)
+
+// StealSweep compares the two built-in schedulers — the default event
+// calendar and the calendar with same-kind work stealing layered on top
+// — across machine topologies. Checksums must agree (the scheduler is a
+// performance policy, never a semantics change); the interesting column
+// is how much run-time stealing repairs the imbalance that
+// placement-time balancing leaves behind.
+type StealSweep struct {
+	Rows []StealSweepRow
+}
+
+// StealSweepRow is one (workload, topology) pair's comparison.
+type StealSweepRow struct {
+	Workload string
+	Topology string
+	// CalendarCyc/StealCyc are completion times under each scheduler;
+	// Speedup is CalendarCyc/StealCyc (>1 means stealing helped).
+	CalendarCyc uint64
+	StealCyc    uint64
+	Speedup     float64
+	// Steals counts the steal events the "steal" run performed.
+	Steals uint64
+	// Match reports both runs were checksum-valid and agreed.
+	Match bool
+}
+
+// DefaultStealTopologies returns the sweep's machine shapes: the PS3
+// default and the three-kind machine (two pools of same-kind siblings
+// to steal within).
+func DefaultStealTopologies() []cell.Topology {
+	return []cell.Topology{
+		cell.PS3Topology(6),
+		{{Kind: isa.PPE, Count: 1}, {Kind: isa.SPE, Count: 4}, {Kind: isa.VPU, Count: 2}},
+	}
+}
+
+// RunStealSweep executes the workloads x topologies x {calendar, steal}
+// matrix. Options.Topologies overrides the shapes; Options.Scheduler is
+// ignored (both schedulers run by construction).
+func RunStealSweep(opt Options) (*StealSweep, error) {
+	topos := DefaultStealTopologies()
+	if len(opt.Topologies) > 0 {
+		topos = opt.Topologies
+	}
+	out := &StealSweep{}
+	for _, spec := range workloads.All() {
+		scale := opt.scale(spec)
+		for _, topo := range topos {
+			threads := topo.DefaultWorkers()
+
+			calOpt := opt
+			calOpt.Scheduler = "calendar"
+			cal, err := runOnTopology(calOpt, spec, threads, scale, topo, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			stealOpt := opt
+			stealOpt.Scheduler = "steal"
+			st, err := runOnTopology(stealOpt, spec, threads, scale, topo, nil, nil)
+			if err != nil {
+				return nil, err
+			}
+			opt.logf("steal %s on %s: calendar=%d steal=%d (%d steals)",
+				spec.Name, topo, cal.Cycles, st.Cycles, st.Steals)
+
+			out.Rows = append(out.Rows, StealSweepRow{
+				Workload:    spec.Name,
+				Topology:    topo.String(),
+				CalendarCyc: cal.Cycles,
+				StealCyc:    st.Cycles,
+				Speedup:     float64(cal.Cycles) / float64(st.Cycles),
+				Steals:      st.Steals,
+				Match:       cal.Valid && st.Valid && cal.Checksum == st.Checksum,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table renders the sweep as text.
+func (s *StealSweep) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Steal ablation: calendar vs same-kind work-stealing scheduler\n")
+	fmt.Fprintf(&b, "%-12s %-18s %14s %14s %8s %7s %6s\n",
+		"benchmark", "topology", "calendar cyc", "steal cyc", "speedup", "steals", "match")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-12s %-18s %14d %14d %7.3fx %7d %6v\n",
+			r.Workload, r.Topology, r.CalendarCyc, r.StealCyc, r.Speedup, r.Steals, r.Match)
+	}
+	return b.String()
+}

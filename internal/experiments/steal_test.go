@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"testing"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/workloads"
+)
+
+// TestStealSchedulerChecksumsAndDeterminism is the steal scheduler's
+// acceptance gate: on the PS3 shape and the three-kind machine, every
+// workload must (a) produce the same checksum under "steal" as under
+// the default calendar scheduler, and (b) be run-to-run deterministic —
+// identical cycles and steal counts across two replays.
+func TestStealSchedulerChecksumsAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload replay skipped in -short mode")
+	}
+	topos := []string{"ppe:1,spe:6", "ppe:1,spe:4,vpu:2"}
+	opt := tiny()
+	for _, spec := range workloads.All() {
+		scale := opt.scale(spec)
+		for _, ts := range topos {
+			topo, err := cell.ParseTopology(ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			threads := topo.DefaultWorkers()
+
+			calOpt := opt
+			calOpt.Scheduler = "calendar"
+			cal, err := runOnTopology(calOpt, spec, threads, scale, topo, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stealOpt := opt
+			stealOpt.Scheduler = "steal"
+			st1, err := runOnTopology(stealOpt, spec, threads, scale, topo, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st2, err := runOnTopology(stealOpt, spec, threads, scale, topo, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if !cal.Valid || !st1.Valid {
+				t.Errorf("%s on %s: invalid checksum (calendar=%v steal=%v)",
+					spec.Name, ts, cal.Valid, st1.Valid)
+			}
+			if st1.Checksum != cal.Checksum {
+				t.Errorf("%s on %s: steal checksum %d != calendar %d",
+					spec.Name, ts, st1.Checksum, cal.Checksum)
+			}
+			if st1.Cycles != st2.Cycles || st1.Steals != st2.Steals ||
+				st1.SPEInstrs != st2.SPEInstrs || st1.PPEInstrs != st2.PPEInstrs {
+				t.Errorf("%s on %s: steal runs diverged: cycles %d/%d steals %d/%d instrs %d+%d/%d+%d",
+					spec.Name, ts, st1.Cycles, st2.Cycles, st1.Steals, st2.Steals,
+					st1.SPEInstrs, st1.PPEInstrs, st2.SPEInstrs, st2.PPEInstrs)
+			}
+			if cal.Steals != 0 {
+				t.Errorf("%s on %s: calendar scheduler stole %d times", spec.Name, ts, cal.Steals)
+			}
+		}
+	}
+}
+
+// TestStealSweepShape runs the sweep at tiny scale on a small custom
+// topology list (exercising Options.Topologies, the -topology flag's
+// plumbing) and checks every row matched.
+func TestStealSweepShape(t *testing.T) {
+	opt := tiny()
+	list, err := cell.ParseTopologyList("ppe:1,spe:2;ppe:1,spe:1,vpu:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Topologies = list
+	sweep, err := RunStealSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Rows) != len(workloads.All())*len(list) {
+		t.Fatalf("rows = %d, want %d", len(sweep.Rows), len(workloads.All())*len(list))
+	}
+	for _, r := range sweep.Rows {
+		if !r.Match {
+			t.Errorf("%s on %s: schedulers disagreed", r.Workload, r.Topology)
+		}
+		if r.Speedup <= 0 {
+			t.Errorf("%s on %s: nonsense speedup %f", r.Workload, r.Topology, r.Speedup)
+		}
+	}
+}
+
+// TestTopologySweepHonoursOptionTopologies pins the topo sweep to a
+// custom shape list.
+func TestTopologySweepHonoursOptionTopologies(t *testing.T) {
+	opt := tiny()
+	list, err := cell.ParseTopologyList("ppe:1;ppe:1,spe:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Topologies = list
+	sweep, err := RunTopologySweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Topologies) != 2 {
+		t.Fatalf("sweep visited %d topologies, want the 2 configured", len(sweep.Topologies))
+	}
+	for _, r := range sweep.Rows {
+		if !r.Valid {
+			t.Errorf("%s: invalid checksum", r.Workload)
+		}
+		if len(r.Cycles) != 2 {
+			t.Errorf("%s: %d cycle columns, want 2", r.Workload, len(r.Cycles))
+		}
+	}
+}

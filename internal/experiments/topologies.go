@@ -50,12 +50,15 @@ func DefaultTopologies() []cell.Topology {
 // otherwise), so SPE-heavy shapes actually exercise their extra cores.
 func RunTopologySweep(opt Options) (*TopologySweep, error) {
 	topos := DefaultTopologies()
+	if len(opt.Topologies) > 0 {
+		topos = opt.Topologies
+	}
 	out := &TopologySweep{Topologies: topos}
 	for _, spec := range workloads.All() {
 		scale := opt.scale(spec)
 		row := TopologySweepRow{Workload: spec.Name, Valid: true}
 		for _, topo := range topos {
-			st, err := runOnTopology(spec, topo.DefaultWorkers(), scale, topo, nil, nil)
+			st, err := runOnTopology(opt, spec, topo.DefaultWorkers(), scale, topo, nil, nil)
 			if err != nil {
 				return nil, err
 			}

@@ -49,6 +49,19 @@ type KindSpec struct {
 	// probe plus amortised DMA). Placement policies rank kinds by it for
 	// memory-bound work; it does not feed the cycle-accurate simulation.
 	MemAccessCycles float64
+
+	// LocalStoreBytes, when nonzero, overrides the machine-wide
+	// cell.Config.LocalStore for cores of this kind, so e.g. a VPU can
+	// model a larger scratchpad than the SPEs. Local-store kinds only;
+	// zero keeps the machine default.
+	LocalStoreBytes uint32
+
+	// DataCacheBytes/CodeCacheBytes, when nonzero, override the
+	// runtime's global software data/code cache sizes for cores of this
+	// kind (they must still fit the kind's local store together).
+	// Local-store kinds only; zero keeps the global configuration.
+	DataCacheBytes uint32
+	CodeCacheBytes uint32
 }
 
 // kindSpecs and kindTables are the registry: kindSpecs[k] describes

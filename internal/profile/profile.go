@@ -39,8 +39,11 @@ type CoreStats struct {
 	DMABytes     uint64
 	DMAWait      uint64 // cycles stalled waiting on DMA completion
 
-	// Thread events.
+	// Thread events. Migrations cross core kinds (a placement-policy
+	// decision); steals move a queued thread between same-kind cores
+	// (the work-stealing scheduler repairing load imbalance).
 	MigrationsIn, MigrationsOut uint64
+	StealsIn, StealsOut         uint64
 	Syscalls                    uint64
 }
 
@@ -98,6 +101,8 @@ func (s *CoreStats) Add(o *CoreStats) {
 	s.DMAWait += o.DMAWait
 	s.MigrationsIn += o.MigrationsIn
 	s.MigrationsOut += o.MigrationsOut
+	s.StealsIn += o.StealsIn
+	s.StealsOut += o.StealsOut
 	s.Syscalls += o.Syscalls
 }
 

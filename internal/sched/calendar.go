@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"container/heap"
+
+	"herajvm/internal/cell"
+)
+
+// The calendar scheduler keeps one event calendar per core instead of
+// scanning every live thread on every step. Each calendar splits its
+// queued tasks in two:
+//
+//   - ready:  tasks whose ReadyAt has already passed the core's clock.
+//     Their feasible start is the clock itself, so the earliest of them
+//     is simply the one queued first (FIFO order, tracked by a global
+//     enqueue sequence number).
+//   - future: tasks whose ReadyAt is still ahead of the clock, ordered
+//     by (ReadyAt, sequence).
+//
+// As the core's clock advances, due entries migrate from future to ready
+// (settle). Picking the next task machine-wide is then an argmin over
+// per-core calendar heads — O(cores + log queue) per scheduling step
+// rather than O(live threads) — with fully deterministic tie-breaking:
+// earliest feasible start, then lowest core index, then enqueue order.
+
+// calEntry is one queued task. at snapshots the task's ready time when
+// it was enqueued; seq is the global enqueue sequence number that makes
+// ordering total.
+type calEntry struct {
+	t   Task
+	at  cell.Clock
+	seq uint64
+}
+
+// seqHeap orders ready entries FIFO by enqueue sequence.
+type seqHeap []calEntry
+
+func (h seqHeap) Len() int           { return len(h) }
+func (h seqHeap) Less(i, j int) bool { return h[i].seq < h[j].seq }
+func (h seqHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *seqHeap) Push(x any)        { *h = append(*h, x.(calEntry)) }
+func (h *seqHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// timeHeap orders future entries by (ReadyAt, enqueue sequence).
+type timeHeap []calEntry
+
+func (h timeHeap) Len() int { return len(h) }
+func (h timeHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timeHeap) Push(x any)   { *h = append(*h, x.(calEntry)) }
+func (h *timeHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// coreCalendar is one core's pending-task calendar.
+type coreCalendar struct {
+	ready  seqHeap
+	future timeHeap
+}
+
+// push queues a task, routing it by its ready time relative to now.
+func (c *coreCalendar) push(t Task, at cell.Clock, seq uint64, now cell.Clock) {
+	e := calEntry{t: t, at: at, seq: seq}
+	if e.at <= now {
+		heap.Push(&c.ready, e)
+	} else {
+		heap.Push(&c.future, e)
+	}
+}
+
+// settle migrates future entries that have come due by now into the
+// ready heap. Clocks only move forward, so entries migrate one way.
+func (c *coreCalendar) settle(now cell.Clock) {
+	for len(c.future) > 0 && c.future[0].at <= now {
+		heap.Push(&c.ready, heap.Pop(&c.future))
+	}
+}
+
+// length is the number of queued tasks (the load metric placement uses).
+func (c *coreCalendar) length() int { return len(c.ready) + len(c.future) }
+
+// earliest returns the feasible start time of the calendar's best task
+// given the core clock: now if anything is already runnable, otherwise
+// the soonest future ReadyAt. ok is false for an empty calendar.
+func (c *coreCalendar) earliest(now cell.Clock) (start cell.Clock, ok bool) {
+	c.settle(now)
+	if len(c.ready) > 0 {
+		return now, true
+	}
+	if len(c.future) > 0 {
+		return c.future[0].at, true
+	}
+	return 0, false
+}
+
+// pop removes and returns the task earliest() identified. The caller
+// must have seen ok==true from earliest at the same clock.
+func (c *coreCalendar) pop(now cell.Clock) Task {
+	c.settle(now)
+	if len(c.ready) > 0 {
+		return heap.Pop(&c.ready).(calEntry).t
+	}
+	return heap.Pop(&c.future).(calEntry).t
+}
+
+// Calendar is the default event-calendar scheduler.
+type Calendar struct {
+	cores []*cell.Core
+	cals  []coreCalendar // indexed by Core.Index
+	seq   uint64         // global enqueue sequence (tie-break)
+}
+
+// NewCalendar builds the calendar scheduler over the machine's cores
+// (topology order; cores[i].Index == i).
+func NewCalendar(cores []*cell.Core) *Calendar {
+	return &Calendar{cores: cores, cals: make([]coreCalendar, len(cores))}
+}
+
+// Name implements Scheduler.
+func (s *Calendar) Name() string { return "calendar" }
+
+// Enqueue implements Scheduler.
+func (s *Calendar) Enqueue(core *cell.Core, task Task, readyAt cell.Clock) {
+	s.seq++
+	s.cals[core.Index].push(task, readyAt, s.seq, core.Now)
+}
+
+// Load implements Scheduler.
+func (s *Calendar) Load(coreIndex int) int { return s.cals[coreIndex].length() }
+
+// PickNext selects the (core, task) pair with the earliest feasible
+// start time by comparing per-core calendar heads: earliest start wins,
+// ties go to the lowest core index, and within a core to enqueue order.
+func (s *Calendar) PickNext() (*cell.Core, Task) {
+	var bestCore *cell.Core
+	var bestTime cell.Clock
+	for _, core := range s.cores {
+		start, ok := s.cals[core.Index].earliest(core.Now)
+		if ok && (bestCore == nil || start < bestTime) {
+			bestCore, bestTime = core, start
+		}
+	}
+	if bestCore == nil {
+		return nil, nil
+	}
+	return bestCore, s.cals[bestCore.Index].pop(bestCore.Now)
+}
+
+// NoteMigration implements Scheduler: charge the migration to both
+// cores' counters.
+func (s *Calendar) NoteMigration(from, to *cell.Core) {
+	from.Stats.MigrationsOut++
+	to.Stats.MigrationsIn++
+}
+
+// readyCount reports how many of a core's queued tasks are already
+// runnable at the core's clock (the stealable set).
+func (s *Calendar) readyCount(coreIndex int, now cell.Clock) int {
+	c := &s.cals[coreIndex]
+	c.settle(now)
+	return len(c.ready)
+}
+
+// earliestStart exposes a core calendar's earliest feasible start to
+// the stealing layer (ok is false for an empty calendar).
+func (s *Calendar) earliestStart(coreIndex int, now cell.Clock) (cell.Clock, bool) {
+	return s.cals[coreIndex].earliest(now)
+}
+
+// stealOldestReady removes and returns the oldest (lowest enqueue
+// sequence) ready task of a core. The caller must have seen
+// readyCount > 0 at the same clock.
+func (s *Calendar) stealOldestReady(coreIndex int) Task {
+	return heap.Pop(&s.cals[coreIndex].ready).(calEntry).t
+}

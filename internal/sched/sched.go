@@ -1,0 +1,134 @@
+// Package sched is Hera-JVM's pluggable scheduling subsystem. The VM
+// drives the whole machine through the small Scheduler interface below;
+// the concrete algorithm — which core runs which queued thread next —
+// is a registry entry selected by name, exactly like the core-kind
+// registry in internal/isa. Two schedulers ship:
+//
+//   - "calendar" (the default): one per-core event calendar, picking the
+//     machine-wide earliest feasible (core, thread) pair with fully
+//     deterministic tie-breaking. See calendar.go.
+//   - "steal": the calendar plus same-kind work stealing — a core whose
+//     calendar has no work deterministically steals the oldest ready
+//     thread from its most-loaded same-kind sibling. See steal.go.
+//
+// The package deliberately knows nothing about threads: tasks are
+// opaque, and everything the algorithms need (the owning core, the
+// ready time, per-core clocks and statistics) arrives through the
+// interface parameters and the cell.Core values the scheduler is
+// constructed over.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"herajvm/internal/cell"
+)
+
+// Task is one opaque schedulable unit — the VM's *Thread. The scheduler
+// never inspects it; ownership changes it makes (steals) flow back to
+// the owner through Options.OnSteal.
+type Task = any
+
+// Options configures a scheduler instance. Schedulers ignore the fields
+// they have no use for.
+type Options struct {
+	// StealCycles is the penalty a work-stealing scheduler charges per
+	// steal: the stolen task starts on the thief no earlier than the
+	// thief's clock plus StealCycles (the cost of pulling the thread's
+	// context across the bus).
+	StealCycles uint64
+
+	// OnSteal, when non-nil, is invoked once per steal before the task
+	// is queued on the thief. The caller updates its own bookkeeping
+	// (thread->core binding, publishing the victim's cached writes) and
+	// returns the — possibly adjusted, never earlier — time the task is
+	// queued at.
+	OnSteal func(task Task, from, to *cell.Core, readyAt cell.Clock) cell.Clock
+}
+
+// Scheduler decides which queued task each core runs next. One instance
+// drives one machine; implementations must be deterministic — two runs
+// of the same program must make identical decisions.
+type Scheduler interface {
+	// Enqueue queues task on core; it becomes runnable at readyAt.
+	Enqueue(core *cell.Core, task Task, readyAt cell.Clock)
+
+	// PickNext removes and returns the machine-wide next task and the
+	// core it runs on, or (nil, nil) when nothing is queued anywhere
+	// (the caller's deadlock signal).
+	PickNext() (*cell.Core, Task)
+
+	// Load reports how many tasks are queued on the core with the given
+	// global index — the balance metric placement uses to pick a core.
+	Load(coreIndex int) int
+
+	// NoteMigration records a thread migration between cores (the
+	// cross-kind migration accounting hook; both built-ins bump the
+	// cores' MigrationsOut/MigrationsIn counters).
+	NoteMigration(from, to *cell.Core)
+
+	// Name returns the scheduler's registered name.
+	Name() string
+}
+
+// Factory builds a scheduler over a machine's cores. The slice must be
+// in topology order with cores[i].Index == i (cell.Machine.Cores()
+// provides exactly that).
+type Factory func(cores []*cell.Core, opt Options) Scheduler
+
+// DefaultName is the scheduler an empty selection resolves to.
+const DefaultName = "calendar"
+
+var registry = map[string]Factory{}
+
+// RegisterScheduler adds a scheduler to the registry under a
+// case-insensitive name. Registering a duplicate or empty name panics;
+// registration normally happens at package init.
+func RegisterScheduler(name string, f Factory) {
+	key := strings.ToLower(name)
+	if key == "" {
+		panic("sched: scheduler registered without a name")
+	}
+	if f == nil {
+		panic(fmt.Sprintf("sched: scheduler %q registered without a factory", name))
+	}
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("sched: scheduler %q already registered", name))
+	}
+	registry[key] = f
+}
+
+// Names lists the registered scheduler names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds the named scheduler over the machine's cores ("" selects
+// DefaultName).
+func New(name string, cores []*cell.Core, opt Options) (Scheduler, error) {
+	if name == "" {
+		name = DefaultName
+	}
+	f := registry[strings.ToLower(name)]
+	if f == nil {
+		return nil, fmt.Errorf("sched: unknown scheduler %q (want %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f(cores, opt), nil
+}
+
+func init() {
+	RegisterScheduler("calendar", func(cores []*cell.Core, _ Options) Scheduler {
+		return NewCalendar(cores)
+	})
+	RegisterScheduler("steal", func(cores []*cell.Core, opt Options) Scheduler {
+		return NewStealing(cores, opt)
+	})
+}

@@ -1,0 +1,79 @@
+package vm
+
+import (
+	"testing"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/classfile"
+	"herajvm/internal/isa"
+)
+
+// fatAccel is a test-only kind modelling an accelerator with a larger
+// scratchpad and its own software-cache split, overriding the global
+// configuration purely from its spec (registered once per test binary).
+var fatAccel = isa.Register(isa.KindSpec{
+	Name:            "FAT",
+	NewCosts:        isa.SPECosts,
+	LocalStore:      true,
+	MemAccessCycles: 30,
+	LocalStoreBytes: 384 << 10,
+	DataCacheBytes:  200 << 10,
+	CodeCacheBytes:  120 << 10,
+})
+
+// TestKindSpecCacheOverrides boots a machine mixing a default SPE with
+// the override kind: the SPE keeps the global cache split, the override
+// kind gets its spec's, and code pinned to the new kind still runs.
+func TestKindSpecCacheOverrides(t *testing.T) {
+	cfg := testConfig()
+	cfg.Machine.Topology = cell.Topology{
+		{Kind: isa.PPE, Count: 1}, {Kind: isa.SPE, Count: 1}, {Kind: fatAccel, Count: 1},
+	}
+	cfg.Policy = FixedPolicy{Kind: fatAccel}
+
+	p := newProg()
+	c := p.NewClass("Loop", nil)
+	m := c.NewMethod("main", classfile.FlagStatic, classfile.Int)
+	a := m.Asm()
+	loop, done := a.NewLabel(), a.NewLabel()
+	a.ConstI(0)
+	a.StoreI(0)
+	a.ConstI(0)
+	a.StoreI(1)
+	a.Bind(loop)
+	a.LoadI(1)
+	a.ConstI(100)
+	a.IfICmpGE(done)
+	a.LoadI(0)
+	a.LoadI(1)
+	a.AddI()
+	a.StoreI(0)
+	a.Inc(1, 1)
+	a.Goto(loop)
+	a.Bind(done)
+	a.LoadI(0)
+	a.Ret()
+	a.MustBuild()
+
+	vm, th := runMain(t, cfg, p, "Loop", "main")
+	if got := int32(uint32(th.Result)); got != 4950 {
+		t.Errorf("result on the override kind = %d, want 4950", got)
+	}
+	if vm.Machine.CoresOf(fatAccel)[0].Stats.Instrs == 0 {
+		t.Error("pinned work never ran on the override kind")
+	}
+
+	// Local-store cores in topology order: the SPE (ordinal 0) keeps the
+	// global split, the override kind (ordinal 1) carries its own.
+	d0, c0 := vm.CacheSplit(0)
+	if d0 != cfg.DataCache.Size || c0 != cfg.CodeCache.Size {
+		t.Errorf("SPE split = %d/%d, want the global %d/%d", d0, c0, cfg.DataCache.Size, cfg.CodeCache.Size)
+	}
+	d1, c1 := vm.CacheSplit(1)
+	if d1 != 200<<10 || c1 != 120<<10 {
+		t.Errorf("override split = %d/%d, want 200K/120K", d1, c1)
+	}
+	if got := len(vm.Machine.CoresOf(fatAccel)[0].LS); got != 384<<10 {
+		t.Errorf("override local store = %d, want 384K", got)
+	}
+}

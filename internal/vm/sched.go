@@ -7,6 +7,7 @@ import (
 	"herajvm/internal/classfile"
 	"herajvm/internal/isa"
 	"herajvm/internal/jit"
+	"herajvm/internal/sched"
 )
 
 // compileFor returns m compiled for kind, compiling lazily; the second
@@ -37,12 +38,11 @@ func (vm *VM) newThread(name string) *Thread {
 	return t
 }
 
-// enqueue places a ready thread on its core's event calendar.
+// enqueue places a ready thread on its core's scheduler queue.
 func (vm *VM) enqueue(t *Thread) {
 	t.State = StateReady
 	core := vm.coreFor(t.Kind, t.CoreID)
-	vm.enqSeq++
-	vm.runq[core.Index].push(t, vm.enqSeq, core.Now)
+	vm.scheduler.Enqueue(core, t, t.ReadyAt)
 }
 
 // pickCore chooses the least-loaded core of the given kind (ties:
@@ -51,10 +51,10 @@ func (vm *VM) enqueue(t *Thread) {
 func (vm *VM) pickCore(kind isa.CoreKind) int {
 	cores := vm.kindCores[kind]
 	best := 0
-	bestLoad := vm.runq[cores[0].Index].length()
+	bestLoad := vm.scheduler.Load(cores[0].Index)
 	bestClock := cores[0].Now
 	for i := 1; i < len(cores); i++ {
-		load := vm.runq[cores[i].Index].length()
+		load := vm.scheduler.Load(cores[i].Index)
 		clock := cores[i].Now
 		if load < bestLoad || (load == bestLoad && clock < bestClock) {
 			best, bestLoad, bestClock = i, load, clock
@@ -214,24 +214,41 @@ func (vm *VM) Run() error {
 	return firstTrap
 }
 
-// pickNext selects the (core, thread) pair with the earliest feasible
-// start time by comparing per-core calendar heads: earliest start wins,
-// ties go to the lowest core index, and within a core to enqueue order —
-// the same total order the old full scan produced, without the
-// O(live-threads) walk.
+// pickNext asks the configured scheduler for the machine-wide next
+// (core, thread) pair; nil thread means nothing is queued anywhere.
 func (vm *VM) pickNext() (*cell.Core, *Thread) {
-	var bestCore *cell.Core
-	var bestTime cell.Clock
-	for _, core := range vm.cores {
-		start, ok := vm.runq[core.Index].earliest(core.Now)
-		if ok && (bestCore == nil || start < bestTime) {
-			bestCore, bestTime = core, start
-		}
-	}
-	if bestCore == nil {
+	core, task := vm.scheduler.PickNext()
+	if task == nil {
 		return nil, nil
 	}
-	return bestCore, vm.runq[bestCore.Index].pop(bestCore.Now)
+	return core, task.(*Thread)
+}
+
+// onSteal is the scheduler's hook for same-kind work stealing: rebind
+// the stolen thread to the thief core with both halves of the software
+// cache coherence protocol — flush (release) the victim's data cache so
+// the thread's own unsynchronised writes reach main memory, and purge
+// (acquire) the thief's before the thread runs so no stale clean copy
+// shadows them. Program order must hold within a thread even though
+// cross-core coherence is otherwise only guaranteed at monitor and
+// volatile operations. The returned clock is when the stolen thread may
+// start on the thief: the steal penalty, or the victim-side write-back
+// completing, whichever is later.
+func (vm *VM) onSteal(task sched.Task, from, to *cell.Core, readyAt cell.Clock) cell.Clock {
+	t := task.(*Thread)
+	if dc := vm.dcaches[from.Index]; dc != nil {
+		from.Now = dc.Flush(from.Now)
+		if from.Now > readyAt {
+			readyAt = from.Now
+		}
+	}
+	t.CoreID = to.ID
+	t.ReadyAt = readyAt
+	if to.Kind.UsesLocalStore() {
+		t.needEnsure = true
+		t.needPurge = true
+	}
+	return readyAt
 }
 
 func (vm *VM) deadlockError() error {
@@ -245,12 +262,13 @@ func (vm *VM) deadlockError() error {
 		vm.liveCount, blocked)
 }
 
-// finishThread retires a terminated thread and wakes its joiners.
+// finishThread retires a terminated thread and wakes its joiners after
+// the configured join hand-off latency.
 func (vm *VM) finishThread(core *cell.Core, t *Thread) {
 	vm.liveCount--
 	for _, j := range t.joiners {
 		j.State = StateReady
-		j.ReadyAt = core.Now + 100
+		j.ReadyAt = core.Now + vm.Cfg.JoinWakeCycles
 		vm.enqueue(j)
 	}
 	t.joiners = nil
@@ -262,10 +280,9 @@ func (vm *VM) finishThread(core *cell.Core, t *Thread) {
 // migrations) or arranged the frame stack appropriately.
 func (vm *VM) migrate(core *cell.Core, t *Thread, target isa.CoreKind, words int) {
 	cost := vm.Cfg.MigrationBaseCycles + vm.Cfg.MigrationWordCycles*uint64(words)
-	core.Stats.MigrationsOut++
 	t.Migrations++
 	vm.place(t, target)
-	vm.coreFor(t.Kind, t.CoreID).Stats.MigrationsIn++
+	vm.scheduler.NoteMigration(core, vm.coreFor(t.Kind, t.CoreID))
 	t.ReadyAt = core.Now + cost
 	t.State = StateReady
 	vm.enqueue(t)

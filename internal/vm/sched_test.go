@@ -164,54 +164,3 @@ func TestSchedulingDeterminism(t *testing.T) {
 		}
 	}
 }
-
-// TestCalendarOrdering exercises the two-heap calendar directly: FIFO
-// among already-runnable threads, (ReadyAt, enqueue order) among future
-// ones, and settle migrating entries as the clock advances.
-func TestCalendarOrdering(t *testing.T) {
-	mk := func(at cell.Clock) *Thread { return &Thread{ReadyAt: at} }
-	var cal coreCalendar
-
-	// Two ready threads (ReadyAt <= now) and two future ones.
-	early1, early2 := mk(0), mk(5)
-	late1, late2 := mk(100), mk(100)
-	now := cell.Clock(10)
-	cal.push(early1, 1, now)
-	cal.push(late2, 2, now)
-	cal.push(late1, 3, now)
-	cal.push(early2, 4, now)
-	if cal.length() != 4 {
-		t.Fatalf("length = %d", cal.length())
-	}
-
-	if start, ok := cal.earliest(now); !ok || start != now {
-		t.Fatalf("earliest = %d,%v want %d,true", start, ok, now)
-	}
-	if got := cal.pop(now); got != early1 {
-		t.Error("ready threads must pop in enqueue order (early1 first)")
-	}
-	if got := cal.pop(now); got != early2 {
-		t.Error("ready threads must pop in enqueue order (early2 second)")
-	}
-
-	// Only future threads left: earliest is their ReadyAt; equal ReadyAt
-	// resolves by enqueue order (late2 was pushed before late1).
-	if start, ok := cal.earliest(now); !ok || start != 100 {
-		t.Fatalf("future earliest = %d,%v want 100,true", start, ok)
-	}
-	if got := cal.pop(now); got != late2 {
-		t.Error("future ties must resolve by enqueue order")
-	}
-
-	// Advancing the clock settles due entries into the ready set.
-	now = 200
-	if start, ok := cal.earliest(now); !ok || start != now {
-		t.Fatalf("post-advance earliest = %d,%v want %d,true", start, ok, now)
-	}
-	if got := cal.pop(now); got != late1 {
-		t.Error("settled thread lost")
-	}
-	if _, ok := cal.earliest(now); ok || cal.length() != 0 {
-		t.Error("calendar should be empty")
-	}
-}

@@ -13,6 +13,7 @@ import (
 	"herajvm/internal/jit"
 	"herajvm/internal/mem"
 	"herajvm/internal/profile"
+	"herajvm/internal/sched"
 )
 
 // Config tunes the runtime system.
@@ -30,6 +31,22 @@ type Config struct {
 
 	// Quantum is the scheduling timeslice in cycles.
 	Quantum uint64
+
+	// Scheduler selects the scheduling algorithm by registered name:
+	// "calendar" (the default per-core event-calendar scheduler) or
+	// "steal" (the calendar plus same-kind work stealing). "" selects
+	// the default. See internal/sched.
+	Scheduler string
+
+	// StealCycles is the penalty the "steal" scheduler charges per
+	// steal: a stolen thread starts on the thief no earlier than the
+	// thief's clock plus StealCycles (pulling the thread's context
+	// across the bus). Ignored by the default scheduler.
+	StealCycles uint64
+
+	// JoinWakeCycles is the wake-up latency charged to a joining thread
+	// when the thread it waits on terminates (the join hand-off cost).
+	JoinWakeCycles uint64
 
 	// MigrationBaseCycles + MigrationWordCycles*args is the cost of
 	// packaging a thread's parameters and re-queueing it on the other
@@ -78,6 +95,9 @@ func DefaultConfig() Config {
 		CodeBytes:           6 << 20,
 		BootBytes:           1 << 20,
 		Quantum:             4000,
+		Scheduler:           sched.DefaultName,
+		StealCycles:         400,
+		JoinWakeCycles:      100,
 		MigrationBaseCycles: 600,
 		MigrationWordCycles: 8,
 		SyscallSendCycles:   250,
@@ -139,8 +159,7 @@ type VM struct {
 	threads   []*Thread
 	nextTID   int
 	byJavaObj map[Ref]*Thread
-	runq      []coreCalendar // per core, indexed by Core.Index
-	enqSeq    uint64         // global enqueue sequence (calendar tie-break)
+	scheduler sched.Scheduler
 	liveCount int
 
 	monitors map[Ref]*monitor
@@ -299,24 +318,43 @@ func New(cfg Config, prog *classfile.Program) (*VM, error) {
 
 	// Software caches for every local-store core: data cache at the
 	// bottom of the local store, code cache above it (the rest models
-	// the resident runtime, stacks and the 2 KB TOC, §3.2.2).
+	// the resident runtime, stacks and the 2 KB TOC, §3.2.2). A kind's
+	// spec may override the global cache sizes — a VPU with a larger
+	// scratchpad can carry larger caches than the SPEs.
 	vm.dcaches = make([]*cache.DataCache, machine.NumCores())
 	vm.ccaches = make([]*cache.CodeCache, machine.NumCores())
 	for _, c := range vm.cores {
 		if !c.Kind.UsesLocalStore() {
 			continue
 		}
-		need := uint64(cfg.DataCache.Size) + uint64(cfg.CodeCache.Size)
-		if need > uint64(len(c.LS)) {
-			return nil, fmt.Errorf("vm: caches (%d B) exceed local store (%d B)", need, len(c.LS))
+		dcCfg, ccCfg := cfg.DataCache, cfg.CodeCache
+		spec := isa.Spec(c.Kind)
+		if spec.DataCacheBytes != 0 {
+			dcCfg.Size = spec.DataCacheBytes
 		}
-		vm.dcaches[c.Index] = cache.NewDataCache(cfg.DataCache, c, 0)
-		vm.ccaches[c.Index] = cache.NewCodeCache(cfg.CodeCache, c, cfg.DataCache.Size)
+		if spec.CodeCacheBytes != 0 {
+			ccCfg.Size = spec.CodeCacheBytes
+		}
+		need := uint64(dcCfg.Size) + uint64(ccCfg.Size)
+		if need > uint64(len(c.LS)) {
+			return nil, fmt.Errorf("vm: %s caches (%d B) exceed local store (%d B)", c, need, len(c.LS))
+		}
+		vm.dcaches[c.Index] = cache.NewDataCache(dcCfg, c, 0)
+		vm.ccaches[c.Index] = cache.NewCodeCache(ccCfg, c, dcCfg.Size)
 		vm.lsCores = append(vm.lsCores, c.Index)
 	}
 
-	// One scheduling calendar per core, indexed by Core.Index.
-	vm.runq = make([]coreCalendar, machine.NumCores())
+	// The scheduler: per-core event calendars behind the pluggable
+	// sched.Scheduler interface, selected by Config.Scheduler. The
+	// OnSteal hook keeps the thread->core binding (and the victim's
+	// cache publication) in the VM's hands.
+	vm.scheduler, err = sched.New(cfg.Scheduler, vm.cores, sched.Options{
+		StealCycles: cfg.StealCycles,
+		OnSteal:     vm.onSteal,
+	})
+	if err != nil {
+		return nil, err
+	}
 	vm.adapt = make([]adaptState, machine.NumCores())
 
 	vm.policy = cfg.Policy
