@@ -9,6 +9,7 @@
 //	herabench -fig 4a         # just Figure 4(a)
 //	herabench -fig a3 -v      # ablation A3 with progress logging
 //	herabench -fig steal      # calendar vs work-stealing scheduler
+//	herabench -fig migrate    # stealing vs cost-gated cross-kind migration
 //	herabench -fig 4a -sched steal                      # any figure, stealing scheduler
 //	herabench -full -fig topo -topology "ppe:1,spe:6;ppe:1,spe:4,vpu:2"
 package main
@@ -28,11 +29,11 @@ type table interface{ Table() string }
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | topo | steal | all")
+		fig   = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | topo | steal | migrate | all")
 		full  = flag.Bool("full", false, "paper-shaped workload sizes (slower)")
-		sched = flag.String("sched", "", "scheduler for every run: calendar | steal (default: calendar)")
+		sched = flag.String("sched", "", "scheduler for every run: calendar | steal | migrate (default: calendar)")
 		topos = flag.String("topology", "",
-			`semicolon-separated machine shapes for the topo/steal sweeps, e.g. "ppe:1,spe:6;ppe:1,spe:4,vpu:2"`)
+			`semicolon-separated machine shapes for the topo/steal/migrate sweeps, e.g. "ppe:1,spe:6;ppe:1,spe:4,vpu:2"`)
 		verb = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Parse()
@@ -70,6 +71,7 @@ func main() {
 		{"a4", func(o experiments.Options) (table, error) { return experiments.RunA4(o) }},
 		{"topo", func(o experiments.Options) (table, error) { return experiments.RunTopologySweep(o) }},
 		{"steal", func(o experiments.Options) (table, error) { return experiments.RunStealSweep(o) }},
+		{"migrate", func(o experiments.Options) (table, error) { return experiments.RunMigrateSweep(o) }},
 	}
 
 	want := strings.ToLower(*fig)

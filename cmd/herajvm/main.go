@@ -10,6 +10,7 @@
 //	herajvm -workload mpegaudio -spes 0              # PPE only
 //	herajvm -workload compress -policy monitor       # runtime-monitoring placement
 //	herajvm -workload mandelbrot -sched steal        # same-kind work-stealing scheduler
+//	herajvm -workload compress -sched migrate        # + cost-gated cross-kind migration
 //	herajvm -workload mandelbrot -topology ppe:2,spe:2       # asymmetric machine
 //	herajvm -workload mandelbrot -topology ppe:1,spe:4,vpu:2 # three core kinds
 package main
@@ -30,7 +31,7 @@ func main() {
 		threads  = flag.Int("threads", 0, "worker threads (default: one per worker core)")
 		scale    = flag.Int("scale", 0, "workload scale (default: workload-specific)")
 		policy   = flag.String("policy", "annotation", "annotation | monitor | <kind> (ppe, spe, vpu: pin all threads to that kind)")
-		sched    = flag.String("sched", "calendar", "scheduler: calendar | steal (same-kind work stealing)")
+		sched    = flag.String("sched", "calendar", "scheduler: calendar | steal (same-kind work stealing) | migrate (stealing + cost-gated cross-kind migration)")
 		dataKB   = flag.Int("datacache", 104, "SPE data cache size in KB")
 		codeKB   = flag.Int("codecache", 88, "SPE code cache size in KB")
 		report   = flag.Bool("report", true, "print the machine report")

@@ -58,41 +58,67 @@ type (
 
 // Type kinds.
 const (
-	Void   = classfile.Void
-	Int    = classfile.Int
-	Long   = classfile.Long
-	Float  = classfile.Float
+	// Void marks a method with no return value.
+	Void = classfile.Void
+	// Int is the 32-bit integer value type.
+	Int = classfile.Int
+	// Long is the 64-bit integer value type.
+	Long = classfile.Long
+	// Float is the 32-bit floating-point value type.
+	Float = classfile.Float
+	// Double is the 64-bit floating-point value type.
 	Double = classfile.Double
-	Ref    = classfile.Ref
+	// Ref is the object-reference value type.
+	Ref = classfile.Ref
 )
 
 // Method flags.
 const (
-	Static       = classfile.FlagStatic
-	Native       = classfile.FlagNative
+	// Static declares a method with no receiver.
+	Static = classfile.FlagStatic
+	// Native declares a method implemented by the runtime, not bytecode.
+	Native = classfile.FlagNative
+	// Synchronized wraps the method body in its receiver's (or class's)
+	// monitor.
 	Synchronized = classfile.FlagSynchronized
-	Abstract     = classfile.FlagAbstract
+	// Abstract declares a method without a body, to be overridden.
+	Abstract = classfile.FlagAbstract
 )
 
 // Placement annotations (the paper's behaviour hints, §3).
 const (
-	FloatIntensive  = classfile.AnnFloatIntensive
+	// FloatIntensive sends the thread to the registered kind with the
+	// cheapest predicted floating point.
+	FloatIntensive = classfile.AnnFloatIntensive
+	// MemoryIntensive sends the thread to the registered kind with the
+	// cheapest predicted memory access.
 	MemoryIntensive = classfile.AnnMemoryIntensive
-	RunOnSPE        = classfile.AnnRunOnSPE
-	RunOnPPE        = classfile.AnnRunOnPPE
+	// RunOnSPE pins the annotated method's thread to the SPE pool.
+	RunOnSPE = classfile.AnnRunOnSPE
+	// RunOnPPE pins the annotated method's thread to the PPE pool.
+	RunOnPPE = classfile.AnnRunOnPPE
 )
 
 // Array element kinds for NewArray/ALoad/AStore.
 const (
-	ElemBool   = classfile.ElemBool
-	ElemByte   = classfile.ElemByte
-	ElemChar   = classfile.ElemChar
-	ElemShort  = classfile.ElemShort
-	ElemInt    = classfile.ElemInt
-	ElemFloat  = classfile.ElemFloat
-	ElemLong   = classfile.ElemLong
+	// ElemBool is a boolean array element.
+	ElemBool = classfile.ElemBool
+	// ElemByte is a byte array element.
+	ElemByte = classfile.ElemByte
+	// ElemChar is a 16-bit char array element.
+	ElemChar = classfile.ElemChar
+	// ElemShort is a 16-bit short array element.
+	ElemShort = classfile.ElemShort
+	// ElemInt is a 32-bit int array element.
+	ElemInt = classfile.ElemInt
+	// ElemFloat is a 32-bit float array element.
+	ElemFloat = classfile.ElemFloat
+	// ElemLong is a 64-bit long array element.
+	ElemLong = classfile.ElemLong
+	// ElemDouble is a 64-bit double array element.
 	ElemDouble = classfile.ElemDouble
-	ElemRef    = classfile.ElemRef
+	// ElemRef is an object-reference array element.
+	ElemRef = classfile.ElemRef
 )
 
 // NewProgram creates a program with the built-in Java library subset
@@ -140,8 +166,11 @@ type (
 // GPU-like wide vector core (cheap FP, brutal branches, SPE-style
 // local store).
 var (
+	// PPE is the general-purpose, service-hosting PowerPC element.
 	PPE = isa.PPE
+	// SPE is the local-store accelerator element.
 	SPE = isa.SPE
+	// VPU is the GPU-like wide vector core.
 	VPU = isa.VPU
 )
 
@@ -174,11 +203,12 @@ func ParseTopology(s string) (Topology, error) { return cell.ParseTopology(s) }
 func ParseTopologyList(s string) ([]Topology, error) { return cell.ParseTopologyList(s) }
 
 // Schedulers lists the registered scheduler names Config.Scheduler
-// accepts: "calendar" (the default per-core event-calendar scheduler)
-// and "steal" (the calendar plus same-kind work stealing). The
-// scheduling subsystem lives in internal/sched behind a small
-// interface; new algorithms register there like core kinds do in the
-// kind registry.
+// accepts: "calendar" (the default per-core event-calendar scheduler),
+// "steal" (the calendar plus same-kind work stealing) and "migrate"
+// (stealing plus cost-gated cross-kind migration). The scheduling
+// subsystem lives in internal/sched behind a small interface; new
+// algorithms register there like core kinds do in the kind registry —
+// see docs/ARCHITECTURE.md for the interface contract.
 func Schedulers() []string { return sched.Names() }
 
 // DefaultMonitoringPolicy returns the runtime-monitoring placement

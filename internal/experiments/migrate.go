@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/isa"
+	"herajvm/internal/workloads"
+)
+
+// MigrateSweep compares the "steal" scheduler against the "migrate"
+// scheduler — same-kind stealing plus cost-gated cross-kind migration —
+// across machine topologies, with the default calendar as the common
+// baseline. Checksums must agree across all three (a scheduler is a
+// performance policy, never a semantics change); the interesting
+// column is whether letting idle cores of one kind take over-queued
+// work of another kind, when the cost model predicts a win, buys
+// anything beyond what same-kind stealing already repairs.
+type MigrateSweep struct {
+	Rows []MigrateSweepRow
+}
+
+// MigrateSweepRow is one (workload, topology) pair's comparison.
+type MigrateSweepRow struct {
+	Workload string
+	Topology string
+	// CalendarCyc/StealCyc/MigrateCyc are completion times under each
+	// scheduler; Speedup is StealCyc/MigrateCyc (>1 means cross-kind
+	// migration beat stealing alone, =1 means the cost gate found
+	// nothing worth moving).
+	CalendarCyc uint64
+	StealCyc    uint64
+	MigrateCyc  uint64
+	Speedup     float64
+	// Steals counts the migrate run's same-kind steals; Migrations its
+	// machine-wide cross-kind migrations (policy-driven moves plus the
+	// cost-gated moves the scheduler itself decided — compare the
+	// steal run's count in the -v log to separate them).
+	Steals     uint64
+	Migrations uint64
+	// Match reports all three runs were checksum-valid and agreed.
+	Match bool
+}
+
+// DefaultMigrateTopologies returns the sweep's machine shapes: the
+// acceptance topology — a balanced-looking but kind-imbalanced
+// 2/2/2 mix where SPE-pinned work overloads one pool while two other
+// kinds idle — and the SPE-heavy three-kind machine.
+func DefaultMigrateTopologies() []cell.Topology {
+	return []cell.Topology{
+		{{Kind: isa.PPE, Count: 2}, {Kind: isa.SPE, Count: 2}, {Kind: isa.VPU, Count: 2}},
+		{{Kind: isa.PPE, Count: 1}, {Kind: isa.SPE, Count: 4}, {Kind: isa.VPU, Count: 2}},
+	}
+}
+
+// RunMigrateSweep executes the workloads x topologies x {calendar,
+// steal, migrate} matrix. Options.Topologies overrides the shapes;
+// Options.Scheduler is ignored (all three schedulers run by
+// construction).
+func RunMigrateSweep(opt Options) (*MigrateSweep, error) {
+	topos := DefaultMigrateTopologies()
+	if len(opt.Topologies) > 0 {
+		topos = opt.Topologies
+	}
+	out := &MigrateSweep{}
+	for _, spec := range workloads.All() {
+		scale := opt.scale(spec)
+		for _, topo := range topos {
+			threads := topo.DefaultWorkers()
+
+			var runs [3]RunStats
+			for i, name := range []string{"calendar", "steal", "migrate"} {
+				o := opt
+				o.Scheduler = name
+				st, err := runOnTopology(o, spec, threads, scale, topo, nil, nil)
+				if err != nil {
+					return nil, err
+				}
+				runs[i] = st
+			}
+			cal, st, mig := runs[0], runs[1], runs[2]
+			opt.logf("migrate %s on %s: calendar=%d steal=%d migrate=%d (%d steals, migrations %d vs %d under steal)",
+				spec.Name, topo, cal.Cycles, st.Cycles, mig.Cycles,
+				mig.Steals, mig.AllMigrations, st.AllMigrations)
+
+			out.Rows = append(out.Rows, MigrateSweepRow{
+				Workload:    spec.Name,
+				Topology:    topo.String(),
+				CalendarCyc: cal.Cycles,
+				StealCyc:    st.Cycles,
+				MigrateCyc:  mig.Cycles,
+				Speedup:     float64(st.Cycles) / float64(mig.Cycles),
+				Steals:      mig.Steals,
+				Migrations:  mig.AllMigrations,
+				Match: cal.Valid && st.Valid && mig.Valid &&
+					cal.Checksum == st.Checksum && st.Checksum == mig.Checksum,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Table renders the sweep as text.
+func (s *MigrateSweep) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Migrate ablation: same-kind stealing vs cost-gated cross-kind migration\n")
+	fmt.Fprintf(&b, "%-12s %-18s %14s %14s %14s %8s %7s %5s %6s\n",
+		"benchmark", "topology", "calendar cyc", "steal cyc", "migrate cyc", "speedup", "steals", "mig", "match")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-12s %-18s %14d %14d %14d %7.3fx %7d %5d %6v\n",
+			r.Workload, r.Topology, r.CalendarCyc, r.StealCyc, r.MigrateCyc,
+			r.Speedup, r.Steals, r.Migrations, r.Match)
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"testing"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/workloads"
+)
+
+// TestMigrateSchedulerChecksumsAndDeterminism is the migrate
+// scheduler's acceptance gate: on the satellite topology
+// (ppe:1,spe:4,vpu:2) and the acceptance topology (ppe:2,spe:2,vpu:2),
+// every workload must (a) produce the same checksum under "migrate" as
+// under the default calendar scheduler, (b) finish no later than under
+// "steal" (the cost gate only approves predicted wins), and (c) be
+// run-to-run deterministic — identical cycles, steal counts and
+// migration counts across two replays.
+func TestMigrateSchedulerChecksumsAndDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload replay skipped in -short mode")
+	}
+	topos := []string{"ppe:1,spe:4,vpu:2", "ppe:2,spe:2,vpu:2"}
+	opt := tiny()
+	for _, spec := range workloads.All() {
+		scale := opt.scale(spec)
+		for _, ts := range topos {
+			topo, err := cell.ParseTopology(ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			threads := topo.DefaultWorkers()
+
+			run := func(scheduler string) RunStats {
+				o := opt
+				o.Scheduler = scheduler
+				st, err := runOnTopology(o, spec, threads, scale, topo, nil, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+			cal := run("calendar")
+			st := run("steal")
+			mig1 := run("migrate")
+			mig2 := run("migrate")
+
+			if !cal.Valid || !mig1.Valid {
+				t.Errorf("%s on %s: invalid checksum (calendar=%v migrate=%v)",
+					spec.Name, ts, cal.Valid, mig1.Valid)
+			}
+			if mig1.Checksum != cal.Checksum {
+				t.Errorf("%s on %s: migrate checksum %d != calendar %d",
+					spec.Name, ts, mig1.Checksum, cal.Checksum)
+			}
+			if mig1.Cycles > st.Cycles {
+				t.Errorf("%s on %s: migrate (%d cyc) finished later than steal (%d cyc); the cost gate should only approve wins",
+					spec.Name, ts, mig1.Cycles, st.Cycles)
+			}
+			if mig1.Cycles != mig2.Cycles || mig1.Steals != mig2.Steals ||
+				mig1.AllMigrations != mig2.AllMigrations ||
+				mig1.Checksum != mig2.Checksum ||
+				mig1.SPEInstrs != mig2.SPEInstrs || mig1.PPEInstrs != mig2.PPEInstrs {
+				t.Errorf("%s on %s: migrate runs diverged: cycles %d/%d steals %d/%d migrations %d/%d",
+					spec.Name, ts, mig1.Cycles, mig2.Cycles, mig1.Steals, mig2.Steals,
+					mig1.AllMigrations, mig2.AllMigrations)
+			}
+		}
+	}
+}
+
+// TestMigrateSweepShape runs the sweep at tiny scale on a custom
+// topology list (exercising Options.Topologies, the -topology flag's
+// plumbing) and checks every row matched with a sane speedup.
+func TestMigrateSweepShape(t *testing.T) {
+	opt := tiny()
+	list, err := cell.ParseTopologyList("ppe:1,spe:2,vpu:1;ppe:2,spe:2,vpu:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Topologies = list
+	sweep, err := RunMigrateSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Rows) != len(workloads.All())*len(list) {
+		t.Fatalf("rows = %d, want %d", len(sweep.Rows), len(workloads.All())*len(list))
+	}
+	for _, r := range sweep.Rows {
+		if !r.Match {
+			t.Errorf("%s on %s: schedulers disagreed", r.Workload, r.Topology)
+		}
+		if r.Speedup < 1 {
+			t.Errorf("%s on %s: migrate slower than steal (%.3fx); the cost gate should only approve wins",
+				r.Workload, r.Topology, r.Speedup)
+		}
+	}
+}

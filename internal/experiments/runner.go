@@ -94,8 +94,12 @@ type RunStats struct {
 	EIBWait    uint64
 	Migrations uint64
 	// Steals counts same-kind work steals across all cores (nonzero
-	// only under the "steal" scheduler).
-	Steals uint64
+	// only under the "steal" and "migrate" schedulers); AllMigrations
+	// counts cross-kind thread migrations landing on *any* core —
+	// policy-driven moves plus, under the "migrate" scheduler, the
+	// cost-gated migrations the scheduler itself performs.
+	Steals        uint64
+	AllMigrations uint64
 }
 
 // runOne executes a workload on a machine with numSPEs SPE cores beside
@@ -157,6 +161,7 @@ func runOnTopology(opt Options, spec workloads.Spec, threads, scale int, topo ce
 			st.PPEInstrs += c.Stats.Instrs
 		}
 		st.Steals += c.Stats.StealsIn
+		st.AllMigrations += c.Stats.MigrationsIn
 		if !c.Kind.UsesLocalStore() {
 			continue
 		}

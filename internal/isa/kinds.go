@@ -62,6 +62,16 @@ type KindSpec struct {
 	// Local-store kinds only; zero keeps the global configuration.
 	DataCacheBytes uint32
 	CodeCacheBytes uint32
+
+	// MigrateAffinity scales the predicted cost of running migrated-in
+	// work on this kind, as seen by the cross-kind migration cost gate
+	// and the drain-time placement estimate. 1.0 (the zero value's
+	// meaning) is neutral; values above 1 make the kind a reluctant
+	// migration target — its cores must be proportionally more idle
+	// before the gate lets arbitrary mid-method work land there (the
+	// VPU sets 1.5: cheap FP does not make scalar, branchy work fast).
+	// Values below 1 would advertise a kind as a preferred sink.
+	MigrateAffinity float64
 }
 
 // kindSpecs and kindTables are the registry: kindSpecs[k] describes
@@ -206,6 +216,18 @@ func (k CoreKind) FPScore() float64 {
 func (k CoreKind) MemScore() float64 {
 	s := Spec(k)
 	return float64(kindTables[k].OpCost[OpGetField]) + s.MemAccessCycles
+}
+
+// MigrateAffinity is the kind's migration-cost multiplier: the factor
+// the cross-kind migration gate and the drain-time placement estimate
+// apply to predicted per-task service cost on this kind. An unset spec
+// (zero) normalizes to the neutral 1.0.
+func (k CoreKind) MigrateAffinity() float64 {
+	s := Spec(k)
+	if s.MigrateAffinity == 0 {
+		return 1
+	}
+	return s.MigrateAffinity
 }
 
 // CodePressure is the kind's mean encoded instruction size in bytes —

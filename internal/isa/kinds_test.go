@@ -134,3 +134,18 @@ func TestCostsReturnsFreshTables(t *testing.T) {
 		t.Error("mutating a Costs() result changed the registry's cached score")
 	}
 }
+
+// TestMigrateAffinity: the built-in Cell kinds are neutral migration
+// targets (unset spec -> 1.0) while the VPU is priced as reluctant —
+// the knob the cross-kind migration gate scales predicted cost by.
+func TestMigrateAffinity(t *testing.T) {
+	if got := PPE.MigrateAffinity(); got != 1 {
+		t.Errorf("PPE affinity = %v, want the neutral 1", got)
+	}
+	if got := SPE.MigrateAffinity(); got != 1 {
+		t.Errorf("SPE affinity = %v, want the neutral 1", got)
+	}
+	if got := VPU.MigrateAffinity(); got <= 1 {
+		t.Errorf("VPU affinity = %v, want > 1 (reluctant target)", got)
+	}
+}

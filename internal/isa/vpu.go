@@ -14,6 +14,11 @@ var VPU = Register(KindSpec{
 	NewCosts:        VPUCosts,
 	LocalStore:      true,
 	MemAccessCycles: 36, // wider fills than the SPE: probe + larger DMA amortisation
+	// Reluctant migration target: arbitrary mid-method work migrated in
+	// by the scheduler is scalar and branchy, the shape this core
+	// punishes, so the cross-kind cost gate prices a VPU service
+	// quantum half again over its clock-time cost.
+	MigrateAffinity: 1.5,
 })
 
 // VPUCosts returns the cost table for the Vector Processing Unit.

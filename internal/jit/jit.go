@@ -36,9 +36,45 @@ type CompiledMethod struct {
 	// Handlers is the exception table with ranges/targets as Code
 	// indexes; ClassID -1 catches everything.
 	Handlers []CompiledHandler
+	// BCIndex maps each Code index to the bytecode pc it was lowered
+	// from; EntryOf maps each bytecode pc to the first Code index of
+	// its expansion (plus one trailing entry: EntryOf[len(bytecode)] ==
+	// len(Code)). Together they translate a machine PC that sits on a
+	// bytecode boundary into the equivalent PC of another kind's
+	// compilation of the same method — the state mapping that makes a
+	// mid-method thread migratable across core kinds (backends differ
+	// in instruction selection, so raw machine PCs do not transfer).
+	BCIndex []int32
+	EntryOf []int32
 	// Addr and Size locate the encoded code in simulated main memory.
 	Addr mem.Addr
 	Size uint32
+}
+
+// AtBytecodeBoundary reports whether pc is the first instruction of a
+// bytecode's expansion (or one past the last instruction). Only at
+// these PCs is the frame's state (locals, operand stack) the
+// kind-independent state the bytecode verifier describes, so only at
+// these PCs may a frame be transplanted onto another kind's
+// compilation.
+func (cm *CompiledMethod) AtBytecodeBoundary(pc int) bool {
+	if pc == len(cm.Code) {
+		return true
+	}
+	if pc < 0 || pc > len(cm.Code) {
+		return false
+	}
+	return int(cm.EntryOf[cm.BCIndex[pc]]) == pc
+}
+
+// TranslatePC maps a bytecode-boundary machine PC of this compilation
+// to the equivalent PC in another compilation of the same method. The
+// caller must have seen AtBytecodeBoundary(pc) == true.
+func (cm *CompiledMethod) TranslatePC(pc int, to *CompiledMethod) int {
+	if pc == len(cm.Code) {
+		return len(to.Code)
+	}
+	return int(to.EntryOf[cm.BCIndex[pc]])
 }
 
 // CompiledHandler is one lowered exception-table entry.

@@ -330,3 +330,55 @@ func TestCompileCyclesScaleWithSize(t *testing.T) {
 		t.Errorf("compile cost %d too small", small)
 	}
 }
+
+// TestBytecodeBoundaryMaps verifies the BCIndex/EntryOf maps the
+// cross-kind migration path relies on: every machine instruction knows
+// its source bytecode, every bytecode's first instruction is a
+// boundary, and a boundary PC round-trips between two backends of the
+// same method.
+func TestBytecodeBoundaryMaps(t *testing.T) {
+	ppe, spe, _ := newCompilers(t)
+	_, m := loopMethod(t)
+	pcm, err := ppe.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scm, err := spe.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pcm.BCIndex) != len(pcm.Code) {
+		t.Fatalf("BCIndex length %d != code length %d", len(pcm.BCIndex), len(pcm.Code))
+	}
+	if len(pcm.EntryOf) != len(m.Code)+1 || int(pcm.EntryOf[len(m.Code)]) != len(pcm.Code) {
+		t.Fatalf("EntryOf misshaped: %d entries, tail %d (want %d, tail %d)",
+			len(pcm.EntryOf), pcm.EntryOf[len(pcm.EntryOf)-1], len(m.Code)+1, len(pcm.Code))
+	}
+	// BCIndex is monotone and every EntryOf target is a boundary.
+	for i := 1; i < len(pcm.BCIndex); i++ {
+		if pcm.BCIndex[i] < pcm.BCIndex[i-1] {
+			t.Fatalf("BCIndex not monotone at %d: %d < %d", i, pcm.BCIndex[i], pcm.BCIndex[i-1])
+		}
+	}
+	boundaries := 0
+	for pc := 0; pc <= len(pcm.Code); pc++ {
+		if !pcm.AtBytecodeBoundary(pc) {
+			continue
+		}
+		boundaries++
+		// A boundary PC maps to the SPE compilation and back unchanged.
+		spc := pcm.TranslatePC(pc, scm)
+		if !scm.AtBytecodeBoundary(spc) {
+			t.Fatalf("translated pc %d -> %d is not a boundary on the SPE", pc, spc)
+		}
+		if back := scm.TranslatePC(spc, pcm); back != pc {
+			t.Fatalf("pc %d -> %d -> %d did not round-trip", pc, spc, back)
+		}
+	}
+	if boundaries < len(m.Code) {
+		t.Errorf("only %d boundaries for %d bytecodes", boundaries, len(m.Code))
+	}
+	if pcm.AtBytecodeBoundary(-1) || pcm.AtBytecodeBoundary(len(pcm.Code)+1) {
+		t.Error("out-of-range PCs must not be boundaries")
+	}
+}

@@ -51,6 +51,19 @@ func (c *Compiler) lower(m *classfile.Method) (*CompiledMethod, error) {
 	}
 	start[len(m.Code)] = len(cm.Code)
 
+	// Retain the bytecode<->machine index maps for cross-kind PC
+	// translation (CompiledMethod.TranslatePC).
+	cm.EntryOf = make([]int32, len(start))
+	for pc, idx := range start {
+		cm.EntryOf[pc] = int32(idx)
+	}
+	cm.BCIndex = make([]int32, len(cm.Code))
+	for pc := range m.Code {
+		for i := start[pc]; i < start[pc+1]; i++ {
+			cm.BCIndex[i] = int32(pc)
+		}
+	}
+
 	for _, f := range fixups {
 		tgt := int32(start[f.bcPC])
 		if f.field == 'A' {

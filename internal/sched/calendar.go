@@ -2,6 +2,7 @@ package sched
 
 import (
 	"container/heap"
+	"sort"
 
 	"herajvm/internal/cell"
 )
@@ -108,15 +109,22 @@ func (c *coreCalendar) pop(now cell.Clock) Task {
 
 // Calendar is the default event-calendar scheduler.
 type Calendar struct {
-	cores []*cell.Core
-	cals  []coreCalendar // indexed by Core.Index
-	seq   uint64         // global enqueue sequence (tie-break)
+	cores  []*cell.Core
+	cals   []coreCalendar // indexed by Core.Index
+	seq    uint64         // global enqueue sequence (tie-break)
+	costOf func(Task, *cell.Core) uint64
 }
 
 // NewCalendar builds the calendar scheduler over the machine's cores
-// (topology order; cores[i].Index == i).
-func NewCalendar(cores []*cell.Core) *Calendar {
-	return &Calendar{cores: cores, cals: make([]coreCalendar, len(cores))}
+// (topology order; cores[i].Index == i). Of the Options only CostOf is
+// consumed — it sharpens DrainEstimate from the bare core clock to
+// clock plus predicted queue-drain cycles.
+func NewCalendar(cores []*cell.Core, opt Options) *Calendar {
+	return &Calendar{
+		cores:  cores,
+		cals:   make([]coreCalendar, len(cores)),
+		costOf: opt.CostOf,
+	}
 }
 
 // Name implements Scheduler.
@@ -130,6 +138,33 @@ func (s *Calendar) Enqueue(core *cell.Core, task Task, readyAt cell.Clock) {
 
 // Load implements Scheduler.
 func (s *Calendar) Load(coreIndex int) int { return s.cals[coreIndex].length() }
+
+// DrainEstimate implements Scheduler: the core's clock plus the
+// predicted cost of everything queued on it, ready and future alike.
+// This is deliberately a *load index* for placement, not a literal
+// completion time: a future task is charged its service cost but not
+// its ReadyAt, because what placement wants to know is how much
+// queued work a new thread would contend with — a task sleeping until
+// the far future neither blocks a new ready thread from starting now
+// (so its ReadyAt must not inflate the estimate) nor stops counting
+// as eventual contention (so it still contributes its cost). Without
+// a CostOf hook the estimate degrades to the bare clock (Load still
+// carries the depth signal separately).
+func (s *Calendar) DrainEstimate(coreIndex int) cell.Clock {
+	d := s.cores[coreIndex].Now
+	if s.costOf == nil {
+		return d
+	}
+	core := s.cores[coreIndex]
+	c := &s.cals[coreIndex]
+	for i := range c.ready {
+		d += s.costOf(c.ready[i].t, core)
+	}
+	for i := range c.future {
+		d += s.costOf(c.future[i].t, core)
+	}
+	return d
+}
 
 // PickNext selects the (core, task) pair with the earliest feasible
 // start time by comparing per-core calendar heads: earliest start wins,
@@ -175,4 +210,82 @@ func (s *Calendar) earliestStart(coreIndex int, now cell.Clock) (cell.Clock, boo
 // readyCount > 0 at the same clock.
 func (s *Calendar) stealOldestReady(coreIndex int) Task {
 	return heap.Pop(&s.cals[coreIndex].ready).(calEntry).t
+}
+
+// readyWait is one entry of readyByWait: a ready task, its (unique)
+// enqueue sequence, and its predicted FIFO start time on its core.
+type readyWait struct {
+	t     Task
+	seq   uint64
+	start cell.Clock
+}
+
+// readyByWait returns a core's ready tasks ordered by descending
+// predicted wait (most recently enqueued first), each with its
+// predicted start time on that core: the core's clock plus the
+// CostOf-predicted cost of every ready task enqueued before it —
+// exact under the calendar's FIFO ready service. Nil without a CostOf
+// hook or when nothing is ready. The slice is freshly built; the
+// calendar is not disturbed.
+func (s *Calendar) readyByWait(coreIndex int, now cell.Clock) []readyWait {
+	if s.costOf == nil {
+		return nil
+	}
+	core := s.cores[coreIndex]
+	c := &s.cals[coreIndex]
+	c.settle(now)
+	if len(c.ready) == 0 {
+		return nil
+	}
+	out := make([]readyWait, len(c.ready))
+	for i := range c.ready {
+		out[i] = readyWait{t: c.ready[i].t, seq: c.ready[i].seq}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	// Oldest-first prefix sums give each task its FIFO start.
+	start := now
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i].start = start
+		start += cell.Clock(s.costOf(out[i].t, core))
+	}
+	return out
+}
+
+// takeReady removes and returns the ready task with the given enqueue
+// sequence. The caller must hold the sequence from a readyByWait scan
+// at the same clock.
+func (s *Calendar) takeReady(coreIndex int, seq uint64) Task {
+	c := &s.cals[coreIndex]
+	for i := range c.ready {
+		if c.ready[i].seq == seq {
+			return heap.Remove(&c.ready, i).(calEntry).t
+		}
+	}
+	panic("sched: takeReady sequence not in the ready set")
+}
+
+// pickLoadedVictim returns the most-loaded core matching the predicate
+// that can spare a runnable task: it must keep at least one queued
+// task after the hand-off (no pointless moves of a lone task) and have
+// a task that is already ready at its clock. Ties on load resolve to
+// the lowest core index; nil means no viable victim. The stealing and
+// migrating layers share this rule, differing only in the predicate
+// (same-kind sibling vs any other kind).
+func (s *Calendar) pickLoadedVictim(match func(*cell.Core) bool) *cell.Core {
+	var best *cell.Core
+	bestLoad := 1
+	for _, v := range s.cores {
+		if !match(v) {
+			continue
+		}
+		load := s.Load(v.Index)
+		if load <= bestLoad { // strict: ties keep the earlier (lower) index
+			continue
+		}
+		if s.readyCount(v.Index, v.Now) == 0 {
+			continue
+		}
+		best, bestLoad = v, load
+	}
+	return best
 }

@@ -2,7 +2,7 @@
 // drives the whole machine through the small Scheduler interface below;
 // the concrete algorithm — which core runs which queued thread next —
 // is a registry entry selected by name, exactly like the core-kind
-// registry in internal/isa. Two schedulers ship:
+// registry in internal/isa. Three schedulers ship:
 //
 //   - "calendar" (the default): one per-core event calendar, picking the
 //     machine-wide earliest feasible (core, thread) pair with fully
@@ -10,12 +10,19 @@
 //   - "steal": the calendar plus same-kind work stealing — a core whose
 //     calendar has no work deterministically steals the oldest ready
 //     thread from its most-loaded same-kind sibling. See steal.go.
+//   - "migrate": stealing plus cost-gated cross-kind migration — an
+//     idle core of one kind takes the longest-queued thread of an
+//     overloaded core of another kind when landing it (migration
+//     penalty + recompilation + one predicted service round) beats the
+//     thread's predicted start time where it is. See migrate.go.
 //
 // The package deliberately knows nothing about threads: tasks are
 // opaque, and everything the algorithms need (the owning core, the
-// ready time, per-core clocks and statistics) arrives through the
-// interface parameters and the cell.Core values the scheduler is
-// constructed over.
+// ready time, per-core clocks, statistics, per-kind cost predictions)
+// arrives through the interface parameters, the Options hooks and the
+// cell.Core values the scheduler is constructed over. See
+// docs/ARCHITECTURE.md for the interface contract every implementation
+// must honour (determinism, clock monotonicity, cache visibility).
 package sched
 
 import (
@@ -46,6 +53,36 @@ type Options struct {
 	// returns the — possibly adjusted, never earlier — time the task is
 	// queued at.
 	OnSteal func(task Task, from, to *cell.Core, readyAt cell.Clock) cell.Clock
+
+	// MigrateCycles is the penalty the "migrate" scheduler charges per
+	// cross-kind migration before recompilation: packaging the thread's
+	// frames and moving them to a core with a different ISA and memory
+	// model.
+	MigrateCycles uint64
+
+	// CostOf, when non-nil, predicts the cycles one queued task will
+	// consume per scheduling round on the given core (the VM supplies
+	// the scheduling quantum scaled by the kind's migration affinity).
+	// It feeds DrainEstimate and the migrate scheduler's cost gate; nil
+	// degrades DrainEstimate to the bare core clock and disables
+	// cross-kind migration.
+	CostOf func(task Task, core *cell.Core) uint64
+
+	// RecompileCost, when non-nil, reports whether task could execute
+	// on core to's kind right now (all frames at kind-independent
+	// resume points, a compiler present) and, if so, the predicted
+	// cycles of compiling its methods for that kind — 0 when everything
+	// is already compiled. nil disables cross-kind migration.
+	RecompileCost func(task Task, to *cell.Core) (uint64, bool)
+
+	// OnMigrate, when non-nil, performs a cross-kind migration the cost
+	// gate approved: the caller rebinds the task to the target core
+	// (recompiling and translating frame state, publishing the victim's
+	// cached writes) and returns the — possibly adjusted, never earlier
+	// — time the task is queued at, or ok == false to veto the move
+	// (nothing has been dequeued yet). nil disables cross-kind
+	// migration.
+	OnMigrate func(task Task, from, to *cell.Core, readyAt cell.Clock) (at cell.Clock, ok bool)
 }
 
 // Scheduler decides which queued task each core runs next. One instance
@@ -61,8 +98,17 @@ type Scheduler interface {
 	PickNext() (*cell.Core, Task)
 
 	// Load reports how many tasks are queued on the core with the given
-	// global index — the balance metric placement uses to pick a core.
+	// global index — the raw queue-depth balance metric.
 	Load(coreIndex int) int
+
+	// DrainEstimate predicts when the core with the given global index
+	// would finish the work already queued on it: the core's clock plus
+	// the Options.CostOf-predicted cost of every queued task (the bare
+	// clock when no CostOf hook was configured). Placement weights
+	// candidate cores by it — queue depth times mean predicted per-task
+	// cost, plus core clock skew — so less imbalance is created for the
+	// stealing/migrating schedulers to repair.
+	DrainEstimate(coreIndex int) cell.Clock
 
 	// NoteMigration records a thread migration between cores (the
 	// cross-kind migration accounting hook; both built-ins bump the
@@ -125,10 +171,13 @@ func New(name string, cores []*cell.Core, opt Options) (Scheduler, error) {
 }
 
 func init() {
-	RegisterScheduler("calendar", func(cores []*cell.Core, _ Options) Scheduler {
-		return NewCalendar(cores)
+	RegisterScheduler("calendar", func(cores []*cell.Core, opt Options) Scheduler {
+		return NewCalendar(cores, opt)
 	})
 	RegisterScheduler("steal", func(cores []*cell.Core, opt Options) Scheduler {
 		return NewStealing(cores, opt)
+	})
+	RegisterScheduler("migrate", func(cores []*cell.Core, opt Options) Scheduler {
+		return NewMigrating(cores, opt)
 	})
 }

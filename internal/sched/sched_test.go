@@ -25,7 +25,7 @@ func TestRegistry(t *testing.T) {
 	for _, n := range names {
 		seen[n] = true
 	}
-	if !seen["calendar"] || !seen["steal"] {
+	if !seen["calendar"] || !seen["steal"] || !seen["migrate"] {
 		t.Fatalf("registry missing built-ins: %v", names)
 	}
 	cores := mkCores(isa.PPE)

@@ -32,7 +32,7 @@ type Stealing struct {
 // cores (topology order; cores[i].Index == i).
 func NewStealing(cores []*cell.Core, opt Options) *Stealing {
 	return &Stealing{
-		Calendar:    NewCalendar(cores),
+		Calendar:    NewCalendar(cores, opt),
 		stealCycles: opt.StealCycles,
 		onSteal:     opt.OnSteal,
 	}
@@ -95,25 +95,11 @@ func (s *Stealing) stealPass() {
 }
 
 // pickVictim returns the most-loaded same-kind sibling worth stealing
-// from: it must keep at least one queued task after the steal (no
-// pointless hand-offs of a lone task) and have a task that is already
-// runnable (stealing future work would start it no earlier). Ties on
-// load resolve to the lowest core index. nil means no viable victim.
+// from (stealing future work would start it no earlier, so the victim
+// must have ready work; see Calendar.pickLoadedVictim for the shared
+// selection rule).
 func (s *Stealing) pickVictim(thief *cell.Core) *cell.Core {
-	var best *cell.Core
-	bestLoad := 1
-	for _, v := range s.cores {
-		if v == thief || v.Kind != thief.Kind {
-			continue
-		}
-		load := s.Load(v.Index)
-		if load <= bestLoad { // strict: ties keep the earlier (lower) index
-			continue
-		}
-		if s.readyCount(v.Index, v.Now) == 0 {
-			continue
-		}
-		best, bestLoad = v, load
-	}
-	return best
+	return s.pickLoadedVictim(func(v *cell.Core) bool {
+		return v != thief && v.Kind == thief.Kind
+	})
 }

@@ -1,10 +1,14 @@
 // Package vm is Hera-JVM's runtime system: the object model and heap in
 // simulated main memory, the mark-and-sweep stop-the-world garbage
-// collector (which runs only on the PPE, as in the paper's evaluation
-// configuration), green Java threads scheduled onto the machine's cores,
-// transparent PPE<->SPE thread migration, monitors and volatiles with the
-// SPE cache purge/flush coherence hooks, the SPE->PPE syscall proxy, and
-// the built-in subset of the Java library.
+// collector (which runs only on the service core, as in the paper's
+// evaluation configuration), green Java threads placed onto the
+// machine's cores by drain-time-weighted pickCore and driven by the
+// pluggable internal/sched schedulers, transparent cross-kind thread
+// migration (policy-driven at call boundaries, and scheduler-driven
+// cost-gated migration of queued threads via the OnMigrate hook),
+// monitors and volatiles with the local-store cache purge/flush
+// coherence hooks, the accelerator->service-core syscall proxy, and the
+// built-in subset of the Java library.
 package vm
 
 import (

@@ -45,19 +45,23 @@ func (vm *VM) enqueue(t *Thread) {
 	vm.scheduler.Enqueue(core, t, t.ReadyAt)
 }
 
-// pickCore chooses the least-loaded core of the given kind (ties:
-// earliest local clock, then lowest ID) for a thread entering that
-// kind's pool. The machine must have at least one core of the kind.
+// pickCore chooses the core of the given kind with the smallest
+// predicted drain time — the scheduler's DrainEstimate: queue depth
+// times mean predicted cost per queued task, plus the core's clock
+// skew — for a thread entering that kind's pool. Ties resolve to the
+// lower queue depth, then the lowest ID, so with equal clocks the
+// choice degenerates to the classic least-loaded pick. The machine
+// must have at least one core of the kind.
 func (vm *VM) pickCore(kind isa.CoreKind) int {
 	cores := vm.kindCores[kind]
 	best := 0
+	bestDrain := vm.scheduler.DrainEstimate(cores[0].Index)
 	bestLoad := vm.scheduler.Load(cores[0].Index)
-	bestClock := cores[0].Now
 	for i := 1; i < len(cores); i++ {
+		drain := vm.scheduler.DrainEstimate(cores[i].Index)
 		load := vm.scheduler.Load(cores[i].Index)
-		clock := cores[i].Now
-		if load < bestLoad || (load == bestLoad && clock < bestClock) {
-			best, bestLoad, bestClock = i, load, clock
+		if drain < bestDrain || (drain == bestDrain && load < bestLoad) {
+			best, bestDrain, bestLoad = i, drain, load
 		}
 	}
 	return best
@@ -224,24 +228,25 @@ func (vm *VM) pickNext() (*cell.Core, *Thread) {
 	return core, task.(*Thread)
 }
 
-// onSteal is the scheduler's hook for same-kind work stealing: rebind
-// the stolen thread to the thief core with both halves of the software
-// cache coherence protocol — flush (release) the victim's data cache so
-// the thread's own unsynchronised writes reach main memory, and purge
-// (acquire) the thief's before the thread runs so no stale clean copy
-// shadows them. Program order must hold within a thread even though
+// rebindTo moves a queued thread's binding from one core to another
+// with both halves of the software cache coherence protocol every
+// cross-core hand-off (steal or migration) must perform — flush
+// (release) the victim's data cache so the thread's own unsynchronised
+// writes reach main memory, flooring the hand-off at the write-back
+// completing, and mark the thread to purge (acquire) and re-warm the
+// destination's caches before it runs so no stale clean copy shadows
+// those writes. Program order must hold within a thread even though
 // cross-core coherence is otherwise only guaranteed at monitor and
-// volatile operations. The returned clock is when the stolen thread may
-// start on the thief: the steal penalty, or the victim-side write-back
-// completing, whichever is later.
-func (vm *VM) onSteal(task sched.Task, from, to *cell.Core, readyAt cell.Clock) cell.Clock {
-	t := task.(*Thread)
+// volatile operations. Returns the — possibly later, never earlier —
+// time the thread may start on the destination.
+func (vm *VM) rebindTo(t *Thread, from, to *cell.Core, readyAt cell.Clock) cell.Clock {
 	if dc := vm.dcaches[from.Index]; dc != nil {
 		from.Now = dc.Flush(from.Now)
 		if from.Now > readyAt {
 			readyAt = from.Now
 		}
 	}
+	t.Kind = to.Kind
 	t.CoreID = to.ID
 	t.ReadyAt = readyAt
 	if to.Kind.UsesLocalStore() {
@@ -249,6 +254,111 @@ func (vm *VM) onSteal(task sched.Task, from, to *cell.Core, readyAt cell.Clock) 
 		t.needPurge = true
 	}
 	return readyAt
+}
+
+// onSteal is the scheduler's hook for same-kind work stealing: rebind
+// the stolen thread to the thief core. The returned clock is when the
+// stolen thread may start on the thief: the steal penalty, or the
+// victim-side write-back completing, whichever is later.
+func (vm *VM) onSteal(task sched.Task, from, to *cell.Core, readyAt cell.Clock) cell.Clock {
+	return vm.rebindTo(task.(*Thread), from, to, readyAt)
+}
+
+// taskCost is the scheduler's per-task cost predictor
+// (sched.Options.CostOf): the cycles one queued thread is expected to
+// consume per scheduling round on the core — the scheduling quantum
+// scaled by the kind's migration affinity, so reluctant kinds (the
+// VPU) look proportionally slower to drain to both the drain-time
+// placement estimate and the cross-kind migration gate. Within one
+// kind's pool the affinity cancels and drain ordering reduces to
+// queue depth plus clock skew.
+func (vm *VM) taskCost(_ sched.Task, core *cell.Core) uint64 {
+	return uint64(float64(vm.Cfg.Quantum) * core.Kind.MigrateAffinity())
+}
+
+// recompileEstimate is the migrate scheduler's feasibility-and-cost
+// probe (sched.Options.RecompileCost): whether the thread can execute
+// on the target core's kind right now, and the predicted cycle cost of
+// compiling its frames' methods for that kind. A thread is migratable
+// only when every frame sits at a bytecode boundary — the PCs where
+// frame state is kind-independent and translates across backends — and
+// carries no in-flight runtime state (a deferred migration, an
+// unwinding exception, a suspended native call). The estimate does not
+// deduplicate repeated methods on the stack, so it slightly
+// overestimates recursive stacks — a conservative error: the gate only
+// gets harder to pass, and the migration itself charges actual
+// (deduplicated) compile cycles.
+func (vm *VM) recompileEstimate(task sched.Task, to *cell.Core) (uint64, bool) {
+	t := task.(*Thread)
+	if t.hasPendingMigrate || t.hasPendingThrow || t.pendingNative != nil {
+		return 0, false
+	}
+	c := vm.compilers[to.Kind]
+	if c == nil {
+		return 0, false
+	}
+	var cost uint64
+	for _, f := range t.Frames {
+		if f.Marker || f.CM == nil {
+			continue
+		}
+		if !f.CM.AtBytecodeBoundary(f.PC) {
+			return 0, false
+		}
+		if c.Lookup(f.CM.M) == nil {
+			cost += c.CompileCycles(f.CM.M)
+		}
+	}
+	return cost, true
+}
+
+// onMigrate is the scheduler's hook for cost-gated cross-kind
+// migration (sched.Options.OnMigrate): transplant the thread onto the
+// target core's kind. Every non-marker frame is recompiled for the
+// target (lazily — warm methods are free) and its PC translated
+// through the jit's bytecode-boundary maps; frame locals and operand
+// stacks are kind-independent at those PCs, so they move untouched.
+// Fresh compile cycles are charged to the thread's start like a cold
+// code-cache fill, exactly as StartThread charges a new thread's entry
+// compile. Cache visibility follows the steal protocol: flush
+// (release) the victim's software data cache, purge (acquire) the
+// thief's before the thread runs. The returned clock only ever moves
+// later than the offered landing time; ok == false vetoes the
+// migration (a compile failure, e.g. a full code region) with no
+// thread or cache state changed — methods compiled before the failing
+// one stay registered in the target kind's compiler, which is reusable
+// work, not corruption: any later execution on that kind finds them
+// warm and pays nothing.
+func (vm *VM) onMigrate(task sched.Task, from, to *cell.Core, readyAt cell.Clock) (cell.Clock, bool) {
+	t := task.(*Thread)
+	// Compile everything first so a late failure cannot leave the
+	// thread half-transplanted.
+	type swap struct {
+		f  *Frame
+		cm *jit.CompiledMethod
+	}
+	var swaps []swap
+	var compileCycles uint64
+	for _, f := range t.Frames {
+		if f.Marker || f.CM == nil {
+			continue
+		}
+		cm, cycles, err := vm.compileFor(to.Kind, f.CM.M)
+		if err != nil {
+			return readyAt, false
+		}
+		compileCycles += cycles
+		swaps = append(swaps, swap{f, cm})
+	}
+	readyAt = vm.rebindTo(t, from, to, readyAt)
+	for _, s := range swaps {
+		s.f.PC = s.f.CM.TranslatePC(s.f.PC, s.cm)
+		s.f.CM = s.cm
+	}
+	readyAt += compileCycles
+	t.ReadyAt = readyAt
+	t.Migrations++
+	return readyAt, true
 }
 
 func (vm *VM) deadlockError() error {

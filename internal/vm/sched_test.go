@@ -76,6 +76,54 @@ func TestPickCoreLeastLoadedTieBreak(t *testing.T) {
 	}
 }
 
+// TestPickCoreVPUPoolOnThreeKindTopology asserts the pickCore
+// tie-breaking contract for the third kind's pool on a three-kind
+// machine: lowest ID on a fresh machine, then load, then clock skew —
+// the same ordering the SPE case above pins down.
+func TestPickCoreVPUPoolOnThreeKindTopology(t *testing.T) {
+	topo := cell.Topology{
+		{Kind: isa.PPE, Count: 1}, {Kind: isa.SPE, Count: 2}, {Kind: isa.VPU, Count: 3},
+	}
+	vm, err := New(topoConfig(topo), newProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Empty queues, equal clocks: ties resolve to the lowest ID.
+	if got := vm.pickCore(isa.VPU); got != 0 {
+		t.Errorf("all-idle pick = VPU%d, want VPU0", got)
+	}
+	// A queued thread on VPU0 pushes its drain estimate past its idle
+	// siblings'.
+	busy := vm.newThread("busy")
+	busy.Kind, busy.CoreID = isa.VPU, 0
+	vm.enqueue(busy)
+	if got := vm.pickCore(isa.VPU); got != 1 {
+		t.Errorf("pick with VPU0 loaded = VPU%d, want VPU1", got)
+	}
+	// Equal loads: the earliest clock (smallest skew) wins.
+	vm.Machine.CoreAt(isa.VPU, 1).Now = 100
+	if got := vm.pickCore(isa.VPU); got != 2 {
+		t.Errorf("pick with VPU1 ahead = VPU%d, want VPU2", got)
+	}
+	// Drain weighting: queue depth and clock skew are one currency —
+	// an idle core whose clock has skewed further ahead than a queued
+	// task's predicted cost loses to the loaded core at clock zero,
+	// which the old least-loaded-first rule would never allow.
+	taskCost := vm.taskCost(nil, vm.Machine.CoreAt(isa.VPU, 0))
+	vm.Machine.CoreAt(isa.VPU, 1).Now = cell.Clock(taskCost) + 2
+	vm.Machine.CoreAt(isa.VPU, 2).Now = cell.Clock(taskCost) + 1
+	if got := vm.pickCore(isa.VPU); got != 0 {
+		t.Errorf("pick with idle VPUs skewed past one task's cost = VPU%d, want the loaded VPU0", got)
+	}
+	// The VPU's migration affinity prices its queue drain above an
+	// SPE's for the same depth (reluctant target), while same-kind
+	// pools are unaffected by the scaling.
+	spe := vm.Machine.CoreAt(isa.SPE, 0)
+	if vpuCost := vm.taskCost(nil, vm.Machine.CoreAt(isa.VPU, 0)); vpuCost <= vm.taskCost(nil, spe) {
+		t.Errorf("VPU per-task cost %d not above SPE's %d", vpuCost, vm.taskCost(nil, spe))
+	}
+}
+
 func TestPlaceFallsBackToPPEWithoutSPEs(t *testing.T) {
 	// A PPE-only topology must still run SPE-annotated code (on the PPE)
 	// under every placement policy that could request an SPE.

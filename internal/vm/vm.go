@@ -33,16 +33,23 @@ type Config struct {
 	Quantum uint64
 
 	// Scheduler selects the scheduling algorithm by registered name:
-	// "calendar" (the default per-core event-calendar scheduler) or
-	// "steal" (the calendar plus same-kind work stealing). "" selects
-	// the default. See internal/sched.
+	// "calendar" (the default per-core event-calendar scheduler),
+	// "steal" (the calendar plus same-kind work stealing) or "migrate"
+	// (stealing plus cost-gated cross-kind migration). "" selects the
+	// default. See internal/sched.
 	Scheduler string
 
-	// StealCycles is the penalty the "steal" scheduler charges per
-	// steal: a stolen thread starts on the thief no earlier than the
-	// thief's clock plus StealCycles (pulling the thread's context
-	// across the bus). Ignored by the default scheduler.
+	// StealCycles is the penalty the "steal" and "migrate" schedulers
+	// charge per steal: a stolen thread starts on the thief no earlier
+	// than the thief's clock plus StealCycles (pulling the thread's
+	// context across the bus). Ignored by the default scheduler.
 	StealCycles uint64
+
+	// MigrateCycles is the penalty the "migrate" scheduler charges per
+	// cross-kind migration, on top of the jit-estimated recompilation
+	// cost: packaging a thread's frames and moving them to a core with
+	// a different ISA and memory model. Ignored by the other schedulers.
+	MigrateCycles uint64
 
 	// JoinWakeCycles is the wake-up latency charged to a joining thread
 	// when the thread it waits on terminates (the join hand-off cost).
@@ -97,6 +104,7 @@ func DefaultConfig() Config {
 		Quantum:             4000,
 		Scheduler:           sched.DefaultName,
 		StealCycles:         400,
+		MigrateCycles:       600,
 		JoinWakeCycles:      100,
 		MigrationBaseCycles: 600,
 		MigrationWordCycles: 8,
@@ -346,11 +354,17 @@ func New(cfg Config, prog *classfile.Program) (*VM, error) {
 
 	// The scheduler: per-core event calendars behind the pluggable
 	// sched.Scheduler interface, selected by Config.Scheduler. The
-	// OnSteal hook keeps the thread->core binding (and the victim's
-	// cache publication) in the VM's hands.
+	// OnSteal/OnMigrate hooks keep the thread->core binding (and the
+	// victim's cache publication, and cross-kind frame recompilation)
+	// in the VM's hands; CostOf/RecompileCost feed the drain-time
+	// placement estimate and the migrate scheduler's cost gate.
 	vm.scheduler, err = sched.New(cfg.Scheduler, vm.cores, sched.Options{
-		StealCycles: cfg.StealCycles,
-		OnSteal:     vm.onSteal,
+		StealCycles:   cfg.StealCycles,
+		MigrateCycles: cfg.MigrateCycles,
+		OnSteal:       vm.onSteal,
+		OnMigrate:     vm.onMigrate,
+		CostOf:        vm.taskCost,
+		RecompileCost: vm.recompileEstimate,
 	})
 	if err != nil {
 		return nil, err
