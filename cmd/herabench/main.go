@@ -10,6 +10,8 @@
 //	herabench -fig a3 -v      # ablation A3 with progress logging
 //	herabench -fig steal      # calendar vs work-stealing scheduler
 //	herabench -fig migrate    # stealing vs cost-gated cross-kind migration
+//	herabench -fig serve      # job-serving churn: N jobs over one booted VM
+//	herabench -fig serve -jobs 40 -cadence 250000       # heavier churn
 //	herabench -fig 4a -sched steal                      # any figure, stealing scheduler
 //	herabench -full -fig topo -topology "ppe:1,spe:6;ppe:1,spe:4,vpu:2"
 package main
@@ -29,12 +31,14 @@ type table interface{ Table() string }
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | topo | steal | migrate | all")
+		fig   = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | topo | steal | migrate | serve | all")
 		full  = flag.Bool("full", false, "paper-shaped workload sizes (slower)")
 		sched = flag.String("sched", "", "scheduler for every run: calendar | steal | migrate (default: calendar)")
 		topos = flag.String("topology", "",
-			`semicolon-separated machine shapes for the topo/steal/migrate sweeps, e.g. "ppe:1,spe:6;ppe:1,spe:4,vpu:2"`)
-		verb = flag.Bool("v", false, "log per-run progress to stderr")
+			`semicolon-separated machine shapes for the topo/steal/migrate/serve sweeps, e.g. "ppe:1,spe:6;ppe:1,spe:4,vpu:2"`)
+		jobs    = flag.Int("jobs", 0, "serve driver: number of jobs submitted to the booted VM (default 21)")
+		cadence = flag.Uint64("cadence", 0, "serve driver: cycles between job arrivals (default 500000)")
+		verb    = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Parse()
 
@@ -46,6 +50,8 @@ func main() {
 		opt.Progress = os.Stderr
 	}
 	opt.Scheduler = *sched
+	opt.ServeJobs = *jobs
+	opt.ServeCadence = *cadence
 	if *topos != "" {
 		list, err := cell.ParseTopologyList(*topos)
 		if err != nil {
@@ -72,6 +78,7 @@ func main() {
 		{"topo", func(o experiments.Options) (table, error) { return experiments.RunTopologySweep(o) }},
 		{"steal", func(o experiments.Options) (table, error) { return experiments.RunStealSweep(o) }},
 		{"migrate", func(o experiments.Options) (table, error) { return experiments.RunMigrateSweep(o) }},
+		{"serve", func(o experiments.Options) (table, error) { return experiments.RunServe(o) }},
 	}
 
 	want := strings.ToLower(*fig)

@@ -34,6 +34,7 @@ func main() {
 		sched    = flag.String("sched", "calendar", "scheduler: calendar | steal (same-kind work stealing) | migrate (stealing + cost-gated cross-kind migration)")
 		dataKB   = flag.Int("datacache", 104, "SPE data cache size in KB")
 		codeKB   = flag.Int("codecache", 88, "SPE code cache size in KB")
+		clockHz  = flag.Float64("clockhz", 3.2e9, "core clock rate in Hz for cycle-to-time conversion")
 		report   = flag.Bool("report", true, "print the machine report")
 	)
 	flag.Parse()
@@ -61,6 +62,7 @@ func main() {
 
 	cfg := hera.DefaultConfig()
 	cfg.Machine.Topology = topo
+	cfg.Machine.ClockHz = *clockHz
 	cfg.Scheduler = *sched // validated when the system boots
 	cfg.DataCache.Size = uint32(*dataKB) << 10
 	cfg.CodeCache.Size = uint32(*codeKB) << 10
@@ -98,7 +100,8 @@ func main() {
 	checksum := int32(uint32(res.Value))
 	want := spec.Reference(*threads, *scale)
 	fmt.Printf("%s: %d threads, machine %s, scale %d\n", spec.Name, *threads, topo, *scale)
-	fmt.Printf("completed in %d cycles (%.2f ms at 3.2 GHz)\n", res.Cycles, res.Millis)
+	fmt.Printf("completed in %d cycles (%.2f ms at %.2f GHz)\n",
+		res.Cycles, res.Millis, cfg.Machine.EffectiveClockHz()/1e9)
 	fmt.Printf("checksum %d (%s)\n", checksum, validity(checksum == want))
 	if res.Output != "" {
 		fmt.Printf("--- output ---\n%s", res.Output)

@@ -20,6 +20,23 @@
 //	res, _ := sys.Run("Main", "main")
 //	fmt.Println(int32(res.Value), res.Cycles)
 //
+// A System is a long-lived session: the VM stays booted, and many jobs
+// can be submitted to it asynchronously (in simulated time) and waited
+// on individually, each with its own per-job accounting — cycles from
+// admission to completion, captured output, and migration/steal/compile
+// counters:
+//
+//	job1, _ := sys.Submit(hera.JobRequest{Class: "Main", Method: "main"})
+//	job2, _ := sys.Submit(hera.JobRequest{Class: "Main", Method: "main", Arrival: 500_000})
+//	_ = sys.Drain()
+//	res1, _ := job1.Wait()
+//	res2, _ := job2.Wait()
+//	fmt.Println(res1.Cycles, res2.Cycles, res2.Migrations)
+//
+// Replaying the same submission script reproduces the same results byte
+// for byte: admission is ordered by (arrival cycle, submission
+// sequence) and the machine's stepping is deterministic.
+//
 // Threads whose methods carry placement annotations (RunOnSPE,
 // FloatIntensive, ...) migrate transparently between the PPE and the
 // SPEs; unannotated programs run correctly regardless of placement.
@@ -135,9 +152,19 @@ type (
 	Config = vm.Config
 	// MachineConfig tunes the simulated Cell processor.
 	MachineConfig = cell.Config
-	// System is a booted Hera-JVM instance.
+	// System is a booted Hera-JVM instance — a long-lived session that
+	// accepts job submissions (Submit/Drain) beside the one-shot Run.
 	System = core.System
-	// Result summarises one run.
+	// JobRequest describes one submission to a booted System: an entry
+	// method, optional int args, an arrival cycle and an optional
+	// placement-policy override.
+	JobRequest = core.JobRequest
+	// Job is one submitted job; Job.Wait drives the machine until it
+	// completes and returns its per-job Result.
+	Job = core.Job
+	// Result summarises one completed job: admission-to-completion
+	// cycles, the entry method's return value, the job's own captured
+	// output and its migration/steal/compile counters.
 	Result = core.Result
 	// Policy decides thread placement.
 	Policy = vm.Policy

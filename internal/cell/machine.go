@@ -8,11 +8,19 @@ import (
 	"herajvm/internal/profile"
 )
 
+// DefaultClockHz is the Cell's 3.2 GHz core clock, the rate a zero
+// Config.ClockHz falls back to.
+const DefaultClockHz = 3.2e9
+
 // Config describes a Cell-like machine instance.
 type Config struct {
 	// MainMemory is the main-memory size in bytes (the PS3 exposes
 	// 256 MB; the default here is 64 MB, plenty for the workloads).
 	MainMemory uint32
+	// ClockHz is the core clock rate used to convert cycle counts to
+	// wall time in reports (simulation itself is cycle-accurate and
+	// rate-independent). 0 means DefaultClockHz, the Cell's 3.2 GHz.
+	ClockHz float64
 	// Topology declares the machine's core mix (the PS3 default is
 	// 1 PPE + 6 SPEs; see PS3Topology and ParseTopology).
 	Topology Topology
@@ -30,6 +38,7 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		MainMemory:          64 << 20,
+		ClockHz:             DefaultClockHz,
 		Topology:            PS3Topology(6),
 		LocalStore:          256 << 10,
 		EIB:                 DefaultEIBConfig(),
@@ -37,6 +46,15 @@ func DefaultConfig() Config {
 		PPEMem:              DefaultPPEMemConfig(),
 		BranchPredictorBits: 12,
 	}
+}
+
+// EffectiveClockHz returns the configured clock rate, defaulting a zero
+// ClockHz to DefaultClockHz (hand-built Configs commonly leave it unset).
+func (c Config) EffectiveClockHz() float64 {
+	if c.ClockHz > 0 {
+		return c.ClockHz
+	}
+	return DefaultClockHz
 }
 
 // Core is one simulated processing element. The VM executes Java threads

@@ -16,9 +16,15 @@ import (
 	"herajvm/internal/vm"
 )
 
-// System is a booted Hera-JVM on a simulated Cell machine.
+// System is a booted Hera-JVM on a simulated Cell machine. It is a
+// long-lived session: the VM stays booted between runs, and many jobs —
+// each a named entry method with its own per-job accounting — can be
+// submitted to it (Submit/Job.Wait/Drain in session.go). Run is the
+// one-shot special case kept for single-program use.
 type System struct {
 	VM *vm.VM
+
+	jobs []*Job
 }
 
 // NewSystem boots a system for a program (resolving it if needed).
@@ -30,35 +36,46 @@ func NewSystem(cfg vm.Config, prog *classfile.Program) (*System, error) {
 	return &System{VM: v}, nil
 }
 
-// Result summarises one run.
+// Result summarises one completed job.
 type Result struct {
-	// Cycles is the machine time the run took (largest core clock).
+	// Cycles is the job's admission-to-completion time: the cycle its
+	// last thread retired minus the cycle it was admitted. (Before the
+	// session API this was the global machine-clock delta, which only
+	// made sense for one run at a time.)
 	Cycles cell.Clock
-	// Millis is Cycles at the Cell's 3.2 GHz.
+	// Millis is Cycles at the machine's configured clock rate
+	// (MachineConfig.ClockHz; the Cell's 3.2 GHz by default).
 	Millis float64
 	// Value is the entry method's return value (low bits for int).
 	Value uint64
 	// HasValue reports whether the entry method returned a value.
 	HasValue bool
-	// Output is captured System.out text.
+	// Output is the System.out text the job's own threads printed.
 	Output string
+
+	// AdmittedAt and CompletedAt bound the job in simulated time.
+	AdmittedAt  cell.Clock
+	CompletedAt cell.Clock
+	// Migrations, Steals and Compiles count the scheduling events the
+	// job's threads experienced (cross-kind moves, same-kind steals,
+	// fresh JIT compiles triggered).
+	Migrations uint64
+	Steals     uint64
+	Compiles   uint64
 }
 
-// Run executes a static entry method to completion.
+// Run executes a static entry method to completion: a thin wrapper
+// over Submit and Job.Wait kept for one-shot runs.
+//
+// Deprecated: prefer Submit/Job.Wait, which compose — Run drains only
+// its own job and blurs nothing, but its name hides that the system
+// stays booted and reusable afterwards.
 func (s *System) Run(className, methodName string) (*Result, error) {
-	start := s.VM.Machine.MaxClock()
-	th, err := s.VM.RunMain(className, methodName)
+	job, err := s.Submit(JobRequest{Class: className, Method: methodName})
 	if err != nil {
 		return nil, err
 	}
-	cycles := s.VM.Machine.MaxClock() - start
-	return &Result{
-		Cycles:   cycles,
-		Millis:   float64(cycles) / 3.2e6,
-		Value:    th.Result,
-		HasValue: th.HasResult,
-		Output:   s.VM.Output(),
-	}, nil
+	return job.Wait()
 }
 
 // Report renders a per-core machine report: cycle breakdown by operation
@@ -117,6 +134,19 @@ func (s *System) Report() string {
 	fmt.Fprintf(&b, "jit: %s\n", strings.Join(jitParts, ", "))
 	fmt.Fprintf(&b, "gc: %d collections, %d cycles, %d live objects, %s live\n",
 		s.VM.GCCount, s.VM.GCCycles, s.VM.Heap.LiveObjects(), fmtBytes(uint64(s.VM.Heap.LiveBytes())))
+
+	if len(s.jobs) > 0 {
+		completed := 0
+		for _, j := range s.jobs {
+			if j.Done() {
+				completed++
+			}
+		}
+		fmt.Fprintf(&b, "jobs: %d submitted, %d completed\n", len(s.jobs), completed)
+		for _, j := range s.jobs {
+			fmt.Fprintf(&b, "%s\n", j.describe())
+		}
+	}
 
 	hot := s.VM.Monitor.Hottest(5)
 	if len(hot) > 0 {

@@ -1,0 +1,132 @@
+// Job-session API: a booted System accepts many asynchronous job
+// submissions — each a named entry method with optional arguments, an
+// arrival cycle and an optional placement-policy override — over one
+// long-lived VM, the workload shape the paper's runtime system exists
+// to serve. Submission is asynchronous in *simulated* time: Submit
+// admits the job (creating its root thread, placed through the
+// scheduler's drain-time estimate) without advancing the machine;
+// Job.Wait and System.Drain drive it. Admission is totally ordered by
+// (arrival cycle, submission sequence), and the machine's stepping is
+// independent of where the driving loop pauses, so replaying the same
+// submission script yields byte-identical results.
+
+package core
+
+import (
+	"fmt"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/vm"
+)
+
+// JobRequest describes one submission to a booted System.
+type JobRequest struct {
+	// Class and Method name the static entry method.
+	Class  string
+	Method string
+	// Name optionally labels the job in reports (default Class.Method).
+	Name string
+	// Args are optional int arguments passed to the entry method.
+	Args []int32
+	// Arrival is the simulated cycle the job's root thread becomes
+	// runnable, floored at the machine's current clock; 0 means "now".
+	Arrival cell.Clock
+	// Policy optionally overrides the system-wide placement policy for
+	// every thread of this job.
+	Policy vm.Policy
+}
+
+// Job is one submitted job: a handle carrying the submission, the
+// running VM-side state and, once complete, the per-job Result.
+type Job struct {
+	sys   *System
+	inner *vm.Job
+	req   JobRequest
+	res   *Result
+	err   error
+}
+
+// Submit admits a job to the booted VM. The job does not execute until
+// the machine is driven (Job.Wait or System.Drain); submissions made
+// before driving share the machine and are scheduled against each
+// other, which is the point of the session.
+func (s *System) Submit(req JobRequest) (*Job, error) {
+	args := make([]uint64, len(req.Args))
+	for i, v := range req.Args {
+		args[i] = uint64(uint32(v))
+	}
+	inner, err := s.VM.SubmitJob(req.Name, req.Class, req.Method, args, make([]bool, len(args)),
+		req.Arrival, req.Policy)
+	if err != nil {
+		return nil, err
+	}
+	j := &Job{sys: s, inner: inner, req: req}
+	s.jobs = append(s.jobs, j)
+	return j, nil
+}
+
+// Jobs returns the session's submitted jobs in admission order.
+func (s *System) Jobs() []*Job {
+	out := make([]*Job, len(s.jobs))
+	copy(out, s.jobs)
+	return out
+}
+
+// Drain drives the machine until every submitted job has completed.
+// Per-job traps stay on the jobs (Job.Wait reports them); Drain returns
+// only machine-level failures (deadlock).
+func (s *System) Drain() error { return s.VM.DrainJobs() }
+
+// ID returns the job's admission sequence number.
+func (j *Job) ID() int { return j.inner.ID }
+
+// Name returns the job's report label.
+func (j *Job) Name() string { return j.inner.Name }
+
+// Request returns the submission that created the job.
+func (j *Job) Request() JobRequest { return j.req }
+
+// Done reports whether the job has completed (without driving it).
+func (j *Job) Done() bool { return j.inner.Done() }
+
+// Wait drives the machine until the job completes and returns its
+// Result. Other submitted jobs progress too — the machine is shared;
+// Wait only decides when the driving loop hands back. A trap in any of
+// the job's threads is returned as the error, alongside the Result —
+// a trapped job still completed, and its output, cycles and counters
+// remain meaningful. Only a machine-level failure (deadlock) returns
+// a nil Result.
+func (j *Job) Wait() (*Result, error) {
+	if j.res != nil {
+		return j.res, j.err
+	}
+	j.err = j.sys.VM.WaitJob(j.inner)
+	if !j.inner.Done() {
+		return nil, j.err // deadlocked machine: the job never finished
+	}
+	in := j.inner
+	j.res = &Result{
+		Cycles:      in.Cycles(),
+		Millis:      float64(in.Cycles()) / (j.sys.VM.Cfg.Machine.EffectiveClockHz() / 1e3),
+		Value:       in.Root().Result,
+		HasValue:    in.Root().HasResult,
+		Output:      in.Output(),
+		AdmittedAt:  in.AdmittedAt,
+		CompletedAt: in.CompletedAt,
+		Migrations:  in.Stats.Migrations,
+		Steals:      in.Stats.Steals,
+		Compiles:    in.Stats.Compiles,
+	}
+	return j.res, j.err
+}
+
+// describe renders one job line for the machine report.
+func (j *Job) describe() string {
+	in := j.inner
+	if !in.Done() {
+		return fmt.Sprintf("  job %-2d %-28s admitted=%-10d running", in.ID, in.Name, in.AdmittedAt)
+	}
+	return fmt.Sprintf("  job %-2d %-28s admitted=%-10d cycles=%-10d mig=%d steals=%d compiles=%d",
+		in.ID, in.Name, in.AdmittedAt, in.Cycles(),
+		in.Stats.Migrations, in.Stats.Steals, in.Stats.Compiles)
+}

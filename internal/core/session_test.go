@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/isa"
+	"herajvm/internal/vm"
+	"herajvm/internal/workloads"
+)
+
+// burstEntries is the interleaved compress/mandelbrot submission script
+// the determinism contract is tested against.
+func burstEntries() []workloads.MixEntry {
+	var entries []workloads.MixEntry
+	for i := 0; i < 3; i++ {
+		entries = append(entries,
+			workloads.MixEntry{Spec: workloads.Compress(), Threads: 2, Scale: 1},
+			workloads.MixEntry{Spec: workloads.Mandelbrot(), Threads: 2, Scale: 1},
+		)
+	}
+	return entries
+}
+
+// runBurst boots a fresh ppe:1,spe:4,vpu:2 machine under -sched
+// migrate, submits the interleaved burst at a 250k-cycle cadence,
+// drains it, and returns per-job (cycles, checksum, migrations,
+// steals, compiles) plus the rendered machine report.
+func runBurst(t *testing.T) ([]string, string) {
+	t.Helper()
+	entries := burstEntries()
+	prog, err := workloads.BuildMix(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vm.DefaultConfig()
+	cfg.Machine.Topology = cell.Topology{
+		{Kind: isa.PPE, Count: 1}, {Kind: isa.SPE, Count: 4}, {Kind: isa.VPU, Count: 2},
+	}
+	cfg.Scheduler = "migrate"
+	sys, err := NewSystem(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]*Job, len(entries))
+	for i, e := range entries {
+		jobs[i], err = sys.Submit(JobRequest{
+			Class:   e.MainClassOf(i),
+			Method:  "main",
+			Arrival: uint64(i) * 250_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sys.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	var lines []string
+	for i, j := range jobs {
+		res, err := j.Wait()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := entries[i]
+		if got := int32(uint32(res.Value)); got != e.Spec.Reference(e.Threads, e.Scale) {
+			t.Errorf("job %d (%s) checksum = %d, want the reference", i, e.Spec.Name, got)
+		}
+		lines = append(lines, fmt.Sprintf("job %d: cycles=%d sum=%d mig=%d steals=%d compiles=%d",
+			i, res.Cycles, int32(uint32(res.Value)), res.Migrations, res.Steals, res.Compiles))
+	}
+	return lines, sys.Report()
+}
+
+// TestSessionBurstDeterminism replays an interleaved burst of
+// compress and mandelbrot jobs twice on ppe:1,spe:4,vpu:2 under the
+// migrate scheduler: per-job cycle counts and the full machine report
+// must be byte-identical — the session's determinism contract
+// (admission ordered by arrival cycle and submission sequence; the
+// machine's stepping independent of where the driving loop pauses).
+func TestSessionBurstDeterminism(t *testing.T) {
+	lines1, report1 := runBurst(t)
+	lines2, report2 := runBurst(t)
+	for i := range lines1 {
+		if lines1[i] != lines2[i] {
+			t.Errorf("per-job accounting diverged:\n  %s\n  %s", lines1[i], lines2[i])
+		}
+	}
+	if report1 != report2 {
+		t.Errorf("machine reports diverged:\n--- first ---\n%s\n--- second ---\n%s", report1, report2)
+	}
+}

@@ -35,6 +35,11 @@ type Options struct {
 	// sweeps visit (nil keeps each sweep's defaults). herabench fills
 	// it from the -topology flag.
 	Topologies []cell.Topology
+	// ServeJobs and ServeCadence size the job-serving churn driver
+	// (RunServe): how many jobs are submitted to the booted VM and how
+	// many cycles apart they arrive. 0 keeps the driver's defaults.
+	ServeJobs    int
+	ServeCadence uint64
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 }

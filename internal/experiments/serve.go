@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/core"
+	"herajvm/internal/isa"
+	"herajvm/internal/vm"
+	"herajvm/internal/workloads"
+)
+
+// The serve driver is the ROADMAP's batch/async workload harness: many
+// short benchmark programs submitted as jobs to ONE booted VM at a
+// fixed arrival cadence, exercising the schedulers under churn rather
+// than one-shot runs. Jobs are drawn round-robin from the paper's
+// three workloads, each an isolated class-copy (workloads.BuildMix) so
+// concurrent instances share no mutable statics, and the whole matrix
+// replays under calendar, steal and migrate — the churn scenario the
+// cost-gated migration scheduler was built for: SPE-pinned workers
+// overload the SPE pool while the VPUs idle, and only cross-kind
+// migration can put them to work.
+
+const (
+	defaultServeJobs    = 21
+	defaultServeCadence = 500_000
+	serveThreads        = 2
+)
+
+// serveScales are the per-workload scales the serve driver uses (its
+// jobs are "short programs"; Options.ScaleOverride still wins).
+var serveScales = map[string]int{
+	"compress":   1,
+	"mpegaudio":  2,
+	"mandelbrot": 1,
+}
+
+// DefaultServeTopology returns the serve driver's machine: a
+// kind-imbalanced three-kind shape whose SPE pool the round-robin jobs
+// overload while two VPUs (and the lone PPE between job mains) idle.
+func DefaultServeTopology() cell.Topology {
+	return cell.Topology{
+		{Kind: isa.PPE, Count: 1}, {Kind: isa.SPE, Count: 4}, {Kind: isa.VPU, Count: 2},
+	}
+}
+
+// ServeJob is one job's per-job accounting out of a serve run.
+type ServeJob struct {
+	ID       int
+	Workload string
+	// Arrival and Cycles are the job's admission cycle and its
+	// admission-to-completion time.
+	Arrival cell.Clock
+	Cycles  cell.Clock
+	// Migrations/Steals/Compiles count the scheduling events the job's
+	// own threads experienced.
+	Migrations uint64
+	Steals     uint64
+	Compiles   uint64
+	// Valid reports the job's checksum matched the Go reference.
+	Valid bool
+}
+
+// ServeRun is one scheduler's pass over the whole submission script.
+type ServeRun struct {
+	Scheduler string
+	// Makespan is the machine clock when the last job completed.
+	Makespan cell.Clock
+	// MeanCycles averages the jobs' admission-to-completion times (the
+	// per-job latency the paper's runtime-system view cares about;
+	// makespan alone hides queueing delay).
+	MeanCycles cell.Clock
+	Jobs       []ServeJob
+	// Migrations and Steals total the per-job counters.
+	Migrations uint64
+	Steals     uint64
+	// AllValid reports every job's checksum matched its reference.
+	AllValid bool
+}
+
+// ServeSweep compares the three schedulers on one submission script.
+type ServeSweep struct {
+	Topology string
+	NumJobs  int
+	Cadence  uint64
+	Runs     []ServeRun
+}
+
+// RunServe executes the churn driver: build one program holding
+// NumJobs isolated workload copies, boot one VM per scheduler, submit
+// every job at its arrival cycle, drain, and report makespan plus
+// per-job accounting. The submission script is identical across
+// schedulers, and each run is deterministic — replaying the whole
+// sweep must reproduce its table byte for byte.
+func RunServe(opt Options) (*ServeSweep, error) {
+	numJobs := opt.ServeJobs
+	if numJobs <= 0 {
+		numJobs = defaultServeJobs
+	}
+	cadence := opt.ServeCadence
+	if cadence == 0 {
+		cadence = defaultServeCadence
+	}
+	topo := DefaultServeTopology()
+	if len(opt.Topologies) > 0 {
+		topo = opt.Topologies[0]
+	}
+
+	specs := workloads.All()
+	entries := make([]workloads.MixEntry, numJobs)
+	for i := range entries {
+		spec := specs[i%len(specs)]
+		scale := serveScales[spec.Name]
+		if v, ok := opt.ScaleOverride[spec.Name]; ok && v > 0 {
+			scale = v
+		}
+		entries[i] = workloads.MixEntry{Spec: spec, Threads: serveThreads, Scale: scale}
+	}
+
+	out := &ServeSweep{Topology: topo.String(), NumJobs: numJobs, Cadence: cadence}
+	for _, name := range []string{"calendar", "steal", "migrate"} {
+		run, err := runServeOnce(opt, name, topo, entries, cadence)
+		if err != nil {
+			return nil, err
+		}
+		opt.logf("serve %s on %s: %d jobs, makespan=%d mean=%d steals=%d migrations=%d",
+			name, topo, numJobs, run.Makespan, run.MeanCycles, run.Steals, run.Migrations)
+		out.Runs = append(out.Runs, run)
+	}
+	return out, nil
+}
+
+// runServeOnce boots one VM, submits the whole script and drains it.
+func runServeOnce(opt Options, scheduler string, topo cell.Topology,
+	entries []workloads.MixEntry, cadence uint64) (ServeRun, error) {
+
+	prog, err := workloads.BuildMix(entries)
+	if err != nil {
+		return ServeRun{}, err
+	}
+	cfg := vm.DefaultConfig()
+	cfg.Machine.Topology = topo
+	cfg.Scheduler = scheduler
+	sys, err := core.NewSystem(cfg, prog)
+	if err != nil {
+		return ServeRun{}, err
+	}
+
+	jobs := make([]*core.Job, len(entries))
+	for i, e := range entries {
+		jobs[i], err = sys.Submit(core.JobRequest{
+			Class:   e.MainClassOf(i),
+			Method:  "main",
+			Name:    fmt.Sprintf("%s#%d", e.Spec.Name, i),
+			Arrival: uint64(i) * cadence,
+		})
+		if err != nil {
+			return ServeRun{}, fmt.Errorf("serve %s: submit job %d: %w", scheduler, i, err)
+		}
+	}
+	if err := sys.Drain(); err != nil {
+		return ServeRun{}, fmt.Errorf("serve %s: %w", scheduler, err)
+	}
+
+	run := ServeRun{Scheduler: scheduler, AllValid: true}
+	var totalCycles cell.Clock
+	for i, job := range jobs {
+		res, err := job.Wait() // already done: returns the stored result
+		if err != nil {
+			return ServeRun{}, fmt.Errorf("serve %s: job %d: %w", scheduler, i, err)
+		}
+		e := entries[i]
+		valid := int32(uint32(res.Value)) == e.Spec.Reference(e.Threads, e.Scale)
+		run.AllValid = run.AllValid && valid
+		run.Migrations += res.Migrations
+		run.Steals += res.Steals
+		totalCycles += res.Cycles
+		if res.CompletedAt > run.Makespan {
+			run.Makespan = res.CompletedAt
+		}
+		run.Jobs = append(run.Jobs, ServeJob{
+			ID:         i,
+			Workload:   e.Spec.Name,
+			Arrival:    res.AdmittedAt,
+			Cycles:     res.Cycles,
+			Migrations: res.Migrations,
+			Steals:     res.Steals,
+			Compiles:   res.Compiles,
+			Valid:      valid,
+		})
+	}
+	run.MeanCycles = totalCycles / cell.Clock(len(jobs))
+	return run, nil
+}
+
+// Table renders the sweep as text: one summary row per scheduler, then
+// the migrate run's per-job accounting.
+func (s *ServeSweep) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serve: %d jobs round-robin over one booted VM, topology %s, cadence %d\n",
+		s.NumJobs, s.Topology, s.Cadence)
+	fmt.Fprintf(&b, "%-10s %14s %12s %14s %8s %7s %6s\n",
+		"scheduler", "makespan", "vs calendar", "mean job cyc", "steals", "mig", "valid")
+	base := float64(s.Runs[0].Makespan)
+	for _, r := range s.Runs {
+		fmt.Fprintf(&b, "%-10s %14d %11.3fx %14d %8d %7d %6v\n",
+			r.Scheduler, r.Makespan, base/float64(r.Makespan), r.MeanCycles,
+			r.Steals, r.Migrations, r.AllValid)
+	}
+	last := s.Runs[len(s.Runs)-1]
+	fmt.Fprintf(&b, "per-job (%s):\n", last.Scheduler)
+	fmt.Fprintf(&b, "%4s %-12s %12s %12s %5s %7s %9s %6s\n",
+		"job", "workload", "arrival", "cycles", "mig", "steals", "compiles", "valid")
+	for _, j := range last.Jobs {
+		fmt.Fprintf(&b, "%4d %-12s %12d %12d %5d %7d %9d %6v\n",
+			j.ID, j.Workload, j.Arrival, j.Cycles, j.Migrations, j.Steals, j.Compiles, j.Valid)
+	}
+	return b.String()
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import "testing"
+
+// runSmallServe executes the churn driver at a reduced size (6 jobs,
+// tight cadence) suitable for unit tests.
+func runSmallServe(t *testing.T) *ServeSweep {
+	t.Helper()
+	opt := Quick()
+	opt.ServeJobs = 6
+	opt.ServeCadence = 300_000
+	s, err := RunServe(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestServeChurnDriver checks the serve sweep's structure and the
+// claim it exists to demonstrate: under churn on a kind-imbalanced
+// three-kind machine, cross-kind migration completes the job stream no
+// later than stealing, which completes it no later than the bare
+// calendar — and every job's checksum stays valid under every
+// scheduler (schedulers are performance policies, never semantics).
+func TestServeChurnDriver(t *testing.T) {
+	s := runSmallServe(t)
+	if len(s.Runs) != 3 {
+		t.Fatalf("serve ran %d schedulers, want 3", len(s.Runs))
+	}
+	cal, steal, mig := s.Runs[0], s.Runs[1], s.Runs[2]
+	for _, r := range s.Runs {
+		if !r.AllValid {
+			t.Errorf("%s run has invalid checksums", r.Scheduler)
+		}
+		if len(r.Jobs) != s.NumJobs {
+			t.Errorf("%s run reports %d jobs, want %d", r.Scheduler, len(r.Jobs), s.NumJobs)
+		}
+		for _, j := range r.Jobs {
+			if j.Cycles == 0 {
+				t.Errorf("%s job %d has no per-job cycles", r.Scheduler, j.ID)
+			}
+		}
+	}
+	if steal.Makespan > cal.Makespan {
+		t.Errorf("stealing worsened the churn makespan: %d vs calendar %d", steal.Makespan, cal.Makespan)
+	}
+	if mig.Makespan > steal.Makespan {
+		t.Errorf("migration worsened the churn makespan: %d vs steal %d", mig.Makespan, steal.Makespan)
+	}
+	if mig.Migrations == 0 {
+		t.Error("the migrate run performed no migrations under churn on an imbalanced topology")
+	}
+}
+
+// TestServeReplayDeterminism replays the whole serve sweep and demands
+// byte-identical tables and per-job cycle counts — the job-session
+// determinism contract surfaced at the figure level (CI replays the
+// full-size driver the same way).
+func TestServeReplayDeterminism(t *testing.T) {
+	a := runSmallServe(t)
+	b := runSmallServe(t)
+	if a.Table() != b.Table() {
+		t.Errorf("serve tables diverged:\n--- first ---\n%s--- second ---\n%s", a.Table(), b.Table())
+	}
+	for r := range a.Runs {
+		for i := range a.Runs[r].Jobs {
+			if a.Runs[r].Jobs[i].Cycles != b.Runs[r].Jobs[i].Cycles {
+				t.Errorf("%s job %d cycles diverged: %d vs %d", a.Runs[r].Scheduler, i,
+					a.Runs[r].Jobs[i].Cycles, b.Runs[r].Jobs[i].Cycles)
+			}
+		}
+	}
+}

@@ -23,7 +23,7 @@ func (vm *VM) invoke(core *cell.Core, t *Thread, f *Frame, callee *classfile.Met
 	// has either been tagged by an annotation or selected by the
 	// scheduler" (§3.1). A policy naming a kind the machine lacks lands
 	// on the service kind, mirroring place().
-	desired := vm.policy.OnInvoke(vm, t, callee, core.Kind)
+	desired := vm.policyFor(t).OnInvoke(vm, t, callee, core.Kind)
 	if !vm.Machine.HasKind(desired) {
 		desired = vm.serviceKind()
 	}
@@ -36,6 +36,7 @@ func (vm *VM) invoke(core *cell.Core, t *Thread, f *Frame, callee *classfile.Met
 	if compileCycles > 0 {
 		// The JIT itself runs as runtime code on the invoking core.
 		core.Charge(isa.ClassInt, compileCycles)
+		noteCompile(t)
 	}
 
 	nf := newFrame(cm)

@@ -1,0 +1,202 @@
+package vm
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"herajvm/internal/cell"
+)
+
+// JobStats is per-job scheduling accounting: the events the job's own
+// threads (the root thread and everything it transitively started)
+// experienced, as opposed to the machine-wide Core.Stats counters that
+// aggregate over every job sharing the booted VM.
+type JobStats struct {
+	// Migrations counts cross-kind moves of the job's threads — both
+	// policy-driven marker migrations and the migrate scheduler's
+	// cost-gated moves.
+	Migrations uint64
+	// Steals counts same-kind work steals of the job's threads.
+	Steals uint64
+	// Compiles counts fresh method compilations the job's threads
+	// triggered (entry compiles, invoke-time compiles, migration
+	// recompiles); warm code-cache lookups are free and uncounted.
+	Compiles uint64
+}
+
+// Job is one admitted unit of work on a booted VM: a root thread
+// started from a named entry method, plus every thread it transitively
+// spawned. The job carries its own accounting — admission and
+// completion cycles, captured output, scheduling-event counters — so
+// many jobs can share one machine without their results blurring into
+// the VM-wide aggregates.
+type Job struct {
+	// ID is the job's admission sequence number (0, 1, ...).
+	ID int
+	// Name labels the job in reports.
+	Name string
+	// AdmittedAt is the simulated cycle the job was admitted — the
+	// requested arrival, floored at the machine clock at submission.
+	AdmittedAt cell.Clock
+	// CompletedAt is the cycle the job's last thread retired (0 until
+	// the job completes).
+	CompletedAt cell.Clock
+
+	// Stats accumulates the job's scheduling events.
+	Stats JobStats
+
+	root    *Thread
+	threads []*Thread
+	live    int
+	done    bool
+	out     bytes.Buffer
+	// w tees the VM-wide output stream and the job's capture buffer
+	// (built once at admission; print natives are a hot path).
+	w      io.Writer
+	policy Policy
+}
+
+// Done reports whether every thread of the job has terminated.
+func (j *Job) Done() bool { return j.done }
+
+// Root returns the job's root thread (its Result holds the entry
+// method's return value once the job is done).
+func (j *Job) Root() *Thread { return j.root }
+
+// Output returns the System.out text the job's threads have printed so
+// far (complete once the job is done).
+func (j *Job) Output() string { return j.out.String() }
+
+// Cycles returns the job's admission-to-completion time, or 0 while
+// the job is still running.
+func (j *Job) Cycles() cell.Clock {
+	if !j.done {
+		return 0
+	}
+	return j.CompletedAt - j.AdmittedAt
+}
+
+// Err returns the first trap among the job's threads in creation
+// order, or nil.
+func (j *Job) Err() error { return firstTrap(j.threads) }
+
+// SubmitJob admits a job: a static entry method (with optional
+// arguments) started as a fresh root thread that becomes runnable at
+// the requested arrival cycle, floored at the machine's current clock.
+// pol, when non-nil, overrides the VM-wide placement policy for every
+// thread of the job. The job does not execute until the machine is
+// driven (WaitJob, DrainJobs, or any Run variant); admission order is
+// total — (arrival cycle, submission sequence) — so replaying the same
+// submission script reproduces the same machine byte for byte.
+func (vm *VM) SubmitJob(name, className, methodName string, args []uint64, argRefs []bool,
+	arrival cell.Clock, pol Policy) (*Job, error) {
+
+	cls := vm.Prog.Lookup(className)
+	if cls == nil {
+		return nil, fmt.Errorf("vm: no class %q", className)
+	}
+	m := cls.MethodByName(methodName)
+	if m == nil {
+		return nil, fmt.Errorf("vm: no method %s.%s", className, methodName)
+	}
+	if !m.IsStatic() {
+		return nil, fmt.Errorf("vm: entry %s must be static", m.Sig())
+	}
+	if now := vm.Machine.MaxClock(); arrival < now {
+		arrival = now
+	}
+	if name == "" {
+		name = className + "." + methodName
+	}
+	j := &Job{ID: len(vm.jobs), Name: name, AdmittedAt: arrival, policy: pol}
+	j.w = io.MultiWriter(vm.stdout, &j.out)
+	root, err := vm.startThread(j, name, m, arrival, args, argRefs)
+	if err != nil {
+		return nil, err
+	}
+	j.root = root
+	vm.jobs = append(vm.jobs, j)
+	return j, nil
+}
+
+// Jobs returns the admitted jobs in admission order (a copy).
+func (vm *VM) Jobs() []*Job {
+	out := make([]*Job, len(vm.jobs))
+	copy(out, vm.jobs)
+	return out
+}
+
+// WaitJob drives the machine until the job completes (other jobs'
+// threads progress too — the machine is shared). It returns a
+// machine-level error (deadlock) or the job's first thread trap.
+func (vm *VM) WaitJob(j *Job) error {
+	if err := vm.runWhile(func() bool { return j.done }); err != nil {
+		return err
+	}
+	return j.Err()
+}
+
+// DrainJobs drives the machine until every thread of every admitted
+// job has terminated. Per-job traps stay on the jobs (Job.Err); only
+// machine-level failures (deadlock) are returned.
+func (vm *VM) DrainJobs() error {
+	return vm.runWhile(func() bool { return vm.liveCount == 0 })
+}
+
+// policyFor returns the placement policy governing a thread: its job's
+// override when one was submitted, the VM-wide policy otherwise.
+func (vm *VM) policyFor(t *Thread) Policy {
+	if t != nil && t.job != nil && t.job.policy != nil {
+		return t.job.policy
+	}
+	return vm.policy
+}
+
+// outFor returns the writer a thread's System.out output goes to: the
+// VM-wide stream plus, for a thread belonging to a job, the job's own
+// capture buffer, so per-job output survives concurrent jobs
+// interleaving on the global stream.
+func (vm *VM) outFor(t *Thread) io.Writer {
+	if t != nil && t.job != nil {
+		return t.job.w
+	}
+	return vm.stdout
+}
+
+// noteMigrated records a cross-kind migration of t (any cause) and
+// starts the thread's re-migration cooldown at the given start time.
+func (vm *VM) noteMigrated(t *Thread, at cell.Clock) {
+	t.Migrations++
+	if t.job != nil {
+		t.job.Stats.Migrations++
+	}
+	if cd := vm.Cfg.MigrateCooldownCycles; cd != 0 {
+		t.cooldownUntil = at + cd
+	}
+}
+
+// noteStolen records a same-kind steal of t.
+func noteStolen(t *Thread) {
+	t.Steals++
+	if t.job != nil {
+		t.job.Stats.Steals++
+	}
+}
+
+// noteCompile attributes one fresh method compilation to t's job.
+func noteCompile(t *Thread) {
+	if t != nil && t.job != nil {
+		t.job.Stats.Compiles++
+	}
+}
+
+// firstTrap returns the first trap among threads in creation order.
+func firstTrap(threads []*Thread) error {
+	for _, t := range threads {
+		if t.Trap != nil {
+			return t.Trap
+		}
+	}
+	return nil
+}

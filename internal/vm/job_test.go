@@ -1,0 +1,299 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/classfile"
+	"herajvm/internal/isa"
+)
+
+// buildTwoEntryProg returns a program with two independent entry
+// methods: EntryA.main prints "A" and returns 11, EntryB.main prints
+// "B" and returns 22.
+func buildTwoEntryProg() *classfile.Program {
+	p := newProg()
+	system := p.Lookup("java/lang/System")
+	println := system.MethodByName("println")
+	build := func(cls, msg string, ret int32) {
+		c := p.NewClass(cls, nil)
+		m := c.NewMethod("main", classfile.FlagStatic, classfile.Int)
+		a := m.Asm()
+		a.Str(msg)
+		a.InvokeStatic(println)
+		a.ConstI(ret)
+		a.Ret()
+		a.MustBuild()
+	}
+	build("EntryA", "A", 11)
+	build("EntryB", "B", 22)
+	return p
+}
+
+func TestSubmitJobsPerJobOutputAndResults(t *testing.T) {
+	vm, err := New(testConfig(), buildTwoEntryProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := vm.SubmitJob("", "EntryA", "main", nil, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := vm.SubmitJob("", "EntryB", "main", nil, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ja.Done() || jb.Done() {
+		t.Fatal("jobs must not run before the machine is driven")
+	}
+	if err := vm.DrainJobs(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		j    *Job
+		out  string
+		want int32
+	}{{ja, "A\n", 11}, {jb, "B\n", 22}} {
+		if !tc.j.Done() {
+			t.Fatalf("job %d not done after drain", tc.j.ID)
+		}
+		if got := tc.j.Output(); got != tc.out {
+			t.Errorf("job %d output = %q, want %q", tc.j.ID, got, tc.out)
+		}
+		if got := int32(uint32(tc.j.Root().Result)); got != tc.want {
+			t.Errorf("job %d result = %d, want %d", tc.j.ID, got, tc.want)
+		}
+		if tc.j.Cycles() == 0 || tc.j.CompletedAt <= tc.j.AdmittedAt {
+			t.Errorf("job %d has no per-job time: admitted=%d completed=%d",
+				tc.j.ID, tc.j.AdmittedAt, tc.j.CompletedAt)
+		}
+	}
+	// The VM-wide stream still carries everything, in simulated order.
+	if got := vm.Output(); !strings.Contains(got, "A\n") || !strings.Contains(got, "B\n") {
+		t.Errorf("global output missing job text: %q", got)
+	}
+	if len(vm.Jobs()) != 2 {
+		t.Errorf("job table has %d entries, want 2", len(vm.Jobs()))
+	}
+}
+
+func TestSubmitJobArgsAndArrival(t *testing.T) {
+	p := newProg()
+	c := p.NewClass("Mul", nil)
+	m := c.NewMethod("main", classfile.FlagStatic, classfile.Int, classfile.Int, classfile.Int)
+	a := m.Asm()
+	a.LoadI(0)
+	a.LoadI(1)
+	a.MulI()
+	a.Ret()
+	a.MustBuild()
+
+	vm, err := New(testConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const arrival = 90_000
+	j, err := vm.SubmitJob("mul", "Mul", "main", []uint64{6, 7}, []bool{false, false}, arrival, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.WaitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	if got := int32(uint32(j.Root().Result)); got != 42 {
+		t.Errorf("result = %d, want 42", got)
+	}
+	if j.AdmittedAt != arrival {
+		t.Errorf("admitted at %d, want the requested arrival %d", j.AdmittedAt, arrival)
+	}
+	if j.CompletedAt <= arrival {
+		t.Errorf("completed at %d, before the arrival %d", j.CompletedAt, arrival)
+	}
+}
+
+// TestWaitJobLeavesOthersPending: waiting on an early job must not
+// force a later-arriving job to complete; draining finishes it.
+func TestWaitJobLeavesOthersPending(t *testing.T) {
+	vm, err := New(testConfig(), buildTwoEntryProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := vm.SubmitJob("", "EntryA", "main", nil, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EntryB arrives far after EntryA completes.
+	jb, err := vm.SubmitJob("", "EntryB", "main", nil, nil, 50_000_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.WaitJob(ja); err != nil {
+		t.Fatal(err)
+	}
+	if !ja.Done() {
+		t.Fatal("waited job not done")
+	}
+	if jb.Done() {
+		t.Error("a job arriving tens of millions of cycles later completed during an early wait")
+	}
+	if err := vm.DrainJobs(); err != nil {
+		t.Fatal(err)
+	}
+	if !jb.Done() {
+		t.Error("drain left a job incomplete")
+	}
+}
+
+// TestJobChildThreadsInheritJob: threads spawned by a job's threads
+// belong to the job — their output lands in the job's capture, and the
+// job completes only when they do.
+func TestJobChildThreadsInheritJob(t *testing.T) {
+	p := newProg()
+	threadCls := p.Lookup("java/lang/Thread")
+	system := p.Lookup("java/lang/System")
+
+	w := p.NewClass("PrintWorker", threadCls)
+	run := w.NewMethod("run", 0, classfile.Void)
+	{
+		a := run.Asm()
+		a.Str("from child")
+		a.InvokeStatic(system.MethodByName("println"))
+		a.RetVoid()
+		a.MustBuild()
+	}
+	c := p.NewClass("Spawner", nil)
+	m := c.NewMethod("main", classfile.FlagStatic, classfile.Int)
+	a := m.Asm()
+	a.New(w)
+	a.InvokeVirtual(threadCls.MethodByName("start"))
+	a.ConstI(1)
+	a.Ret()
+	a.MustBuild()
+
+	vm, err := New(testConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := vm.SubmitJob("spawner", "Spawner", "main", nil, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.WaitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	// main never joins the child, so completion implies the job waited
+	// for the whole thread tree.
+	if got := j.Output(); got != "from child\n" {
+		t.Errorf("job output = %q, want the child's line", got)
+	}
+	if len(j.threads) != 2 {
+		t.Errorf("job has %d threads, want root + child", len(j.threads))
+	}
+}
+
+// TestJobPolicyOverride: a per-job FixedPolicy places the job's threads
+// without disturbing the VM-wide default.
+func TestJobPolicyOverride(t *testing.T) {
+	vm, err := New(testConfig(), buildTwoEntryProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := vm.SubmitJob("pinned", "EntryA", "main", nil, nil, 0, FixedPolicy{Kind: isa.SPE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := vm.SubmitJob("default", "EntryB", "main", nil, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.DrainJobs(); err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Root().Kind != isa.SPE {
+		t.Errorf("pinned job's root ran on %v, want SPE", pinned.Root().Kind)
+	}
+	if def.Root().Kind != isa.PPE {
+		t.Errorf("default job's root ran on %v, want the service PPE", def.Root().Kind)
+	}
+}
+
+// TestRunMainStillDrains: the deprecated one-shot path is Submit+drain
+// under the hood and must behave as before.
+func TestRunMainStillDrains(t *testing.T) {
+	vm, err := New(testConfig(), buildTwoEntryProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := vm.RunMain("EntryA", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int32(uint32(th.Result)) != 11 {
+		t.Errorf("result = %d", int32(uint32(th.Result)))
+	}
+	if len(vm.Jobs()) != 1 || !vm.Jobs()[0].Done() {
+		t.Error("RunMain should register and complete one job")
+	}
+}
+
+// jobCycleCounts runs the same submission script twice and returns the
+// per-job cycle counts of each run.
+func jobCycleCounts(t *testing.T, cfg Config) []cell.Clock {
+	t.Helper()
+	vm, err := New(cfg, buildTwoEntryProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, err := vm.SubmitJob("", "EntryA", "main", nil, nil, 10_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := vm.SubmitJob("", "EntryB", "main", nil, nil, 10_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.DrainJobs(); err != nil {
+		t.Fatal(err)
+	}
+	return []cell.Clock{ja.Cycles(), jb.Cycles()}
+}
+
+// TestFailedSubmitLeavesSessionUsable: a rejected submission (here:
+// more args than the entry method has locals) must leave no ghost live
+// thread behind — later jobs still drain cleanly.
+func TestFailedSubmitLeavesSessionUsable(t *testing.T) {
+	vm, err := New(testConfig(), buildTwoEntryProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := make([]uint64, 64)
+	if _, err := vm.SubmitJob("bad", "EntryA", "main", args, make([]bool, len(args)), 0, nil); err == nil {
+		t.Fatal("oversized argument list accepted")
+	}
+	if vm.liveCount != 0 || len(vm.Jobs()) != 0 {
+		t.Fatalf("failed submit left state behind: liveCount=%d jobs=%d", vm.liveCount, len(vm.Jobs()))
+	}
+	j, err := vm.SubmitJob("", "EntryB", "main", nil, nil, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vm.DrainJobs(); err != nil {
+		t.Fatalf("drain after a failed submit: %v", err)
+	}
+	if !j.Done() || int32(uint32(j.Root().Result)) != 22 {
+		t.Error("job after a failed submit did not complete normally")
+	}
+}
+
+// TestEqualArrivalOrdering: two jobs with the same arrival cycle are
+// admitted in submission order, deterministically.
+func TestEqualArrivalOrdering(t *testing.T) {
+	a := jobCycleCounts(t, testConfig())
+	b := jobCycleCounts(t, testConfig())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("job %d cycles diverged across identical scripts: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -84,23 +84,51 @@ func (vm *VM) place(t *Thread, kind isa.CoreKind) {
 
 // StartThread schedules a new Java thread whose first frame invokes
 // entry with the given arguments (receiver first for instance methods).
-// readyAt is the simulated time the thread becomes runnable.
+// readyAt is the simulated time the thread becomes runnable. The thread
+// belongs to no job; the job API's threads go through startThread.
 func (vm *VM) StartThread(name string, entry *classfile.Method, readyAt cell.Clock,
 	args []uint64, argRefs []bool) (*Thread, error) {
+	return vm.startThread(nil, name, entry, readyAt, args, argRefs)
+}
 
-	t := vm.newThread(name)
-	kind := vm.policy.PlaceThread(vm, entry)
-	vm.place(t, kind)
-	cm, compileCycles, err := vm.compileFor(t.Kind, entry)
+// startThread is StartThread plus job identity: the thread joins job
+// (nil for none), inherits its placement-policy override, and bills its
+// scheduling events to the job's counters. Everything fallible —
+// placement, the entry compile, the argument check — happens before
+// the thread is registered, so a failed start leaves no ghost live
+// thread behind to deadlock later drains.
+func (vm *VM) startThread(job *Job, name string, entry *classfile.Method, readyAt cell.Clock,
+	args []uint64, argRefs []bool) (*Thread, error) {
+
+	pol := vm.policy
+	if job != nil && job.policy != nil {
+		pol = job.policy
+	}
+	kind := pol.PlaceThread(vm, entry)
+	if !vm.Machine.HasKind(kind) {
+		kind = vm.serviceKind()
+	}
+	cm, compileCycles, err := vm.compileFor(kind, entry)
 	if err != nil {
 		return nil, err
 	}
 	f := newFrame(cm)
-	f.ctr = vm.Monitor.Counters(entry.ID)
-	f.ctr.Invokes++
 	if len(args) > len(f.Locals) {
 		return nil, fmt.Errorf("vm: %d args exceed %d locals of %s", len(args), len(f.Locals), entry.Sig())
 	}
+
+	t := vm.newThread(name)
+	t.job = job
+	if job != nil {
+		job.live++
+		job.threads = append(job.threads, t)
+	}
+	vm.place(t, kind)
+	if compileCycles > 0 {
+		noteCompile(t)
+	}
+	f.ctr = vm.Monitor.Counters(entry.ID)
+	f.ctr.Invokes++
 	copy(f.Locals, args)
 	for i, r := range argRefs {
 		f.LocalRefs[i] = r
@@ -114,37 +142,41 @@ func (vm *VM) StartThread(name string, entry *classfile.Method, readyAt cell.Clo
 // RunMain compiles and runs the static entry method to completion,
 // driving the whole machine. It returns the entry thread (whose Result
 // holds any return value) and an error if any thread trapped or the
-// machine deadlocked.
+// machine deadlocked. It is the one-job special case of the job API:
+// SubmitJob then drain.
 func (vm *VM) RunMain(className, methodName string) (*Thread, error) {
-	cls := vm.Prog.Lookup(className)
-	if cls == nil {
-		return nil, fmt.Errorf("vm: no class %q", className)
-	}
-	m := cls.MethodByName(methodName)
-	if m == nil {
-		return nil, fmt.Errorf("vm: no method %s.%s", className, methodName)
-	}
-	if !m.IsStatic() {
-		return nil, fmt.Errorf("vm: entry %s must be static", m.Sig())
-	}
-	main, err := vm.StartThread("main", m, 0, nil, nil)
+	job, err := vm.SubmitJob("main", className, methodName, nil, nil, 0, nil)
 	if err != nil {
 		return nil, err
 	}
 	if err := vm.Run(); err != nil {
-		return main, err
+		return job.root, err
 	}
-	return main, main.Trap
+	return job.root, job.root.Trap
 }
 
-// Run drives the machine until every thread terminates. The machine is
+// Run drives the machine until every thread terminates and returns the
+// first thread trap, if any.
+func (vm *VM) Run() error {
+	if err := vm.runWhile(func() bool { return vm.liveCount == 0 }); err != nil {
+		return err
+	}
+	return firstTrap(vm.threads)
+}
+
+// runWhile drives the machine until stop reports true. The machine is
 // advanced conservatively: each step runs one quantum on the core whose
 // next available work has the smallest timestamp, so multi-core
-// interleaving and bus contention are deterministic.
-func (vm *VM) Run() error {
-	for vm.liveCount > 0 {
+// interleaving and bus contention are deterministic — and independent
+// of where the driving loop pauses, so waiting on jobs one at a time
+// replays identically to draining them all at once.
+func (vm *VM) runWhile(stop func() bool) error {
+	for !stop() {
 		core, t := vm.pickNext()
 		if t == nil {
+			if vm.liveCount == 0 {
+				return nil
+			}
 			return vm.deadlockError()
 		}
 		core.AdvanceTo(t.ReadyAt)
@@ -208,14 +240,7 @@ func (vm *VM) Run() error {
 		}
 		// Blocked/Ready threads were re-queued by whatever blocked them.
 	}
-	var firstTrap error
-	for _, t := range vm.threads {
-		if t.Trap != nil {
-			firstTrap = t.Trap
-			break
-		}
-	}
-	return firstTrap
+	return nil
 }
 
 // pickNext asks the configured scheduler for the machine-wide next
@@ -261,7 +286,9 @@ func (vm *VM) rebindTo(t *Thread, from, to *cell.Core, readyAt cell.Clock) cell.
 // stolen thread may start on the thief: the steal penalty, or the
 // victim-side write-back completing, whichever is later.
 func (vm *VM) onSteal(task sched.Task, from, to *cell.Core, readyAt cell.Clock) cell.Clock {
-	return vm.rebindTo(task.(*Thread), from, to, readyAt)
+	t := task.(*Thread)
+	noteStolen(t)
+	return vm.rebindTo(t, from, to, readyAt)
 }
 
 // taskCost is the scheduler's per-task cost predictor
@@ -291,6 +318,12 @@ func (vm *VM) taskCost(_ sched.Task, core *cell.Core) uint64 {
 func (vm *VM) recompileEstimate(task sched.Task, to *cell.Core) (uint64, bool) {
 	t := task.(*Thread)
 	if t.hasPendingMigrate || t.hasPendingThrow || t.pendingNative != nil {
+		return 0, false
+	}
+	// Migration hysteresis: a thread that just migrated cross-kind is
+	// not migratable again until its core's clock passes the cooldown
+	// horizon, so oscillating load cannot ping-pong it between kinds.
+	if t.cooldownUntil != 0 && vm.coreFor(t.Kind, t.CoreID).Now < t.cooldownUntil {
 		return 0, false
 	}
 	c := vm.compilers[to.Kind]
@@ -347,17 +380,20 @@ func (vm *VM) onMigrate(task sched.Task, from, to *cell.Core, readyAt cell.Clock
 		if err != nil {
 			return readyAt, false
 		}
+		if cycles > 0 {
+			noteCompile(t)
+		}
 		compileCycles += cycles
 		swaps = append(swaps, swap{f, cm})
 	}
-	readyAt = vm.rebindTo(t, from, to, readyAt)
+	landing := vm.rebindTo(t, from, to, readyAt)
 	for _, s := range swaps {
 		s.f.PC = s.f.CM.TranslatePC(s.f.PC, s.cm)
 		s.f.CM = s.cm
 	}
-	readyAt += compileCycles
+	readyAt = landing + compileCycles
 	t.ReadyAt = readyAt
-	t.Migrations++
+	vm.noteMigrated(t, landing)
 	return readyAt, true
 }
 
@@ -372,10 +408,18 @@ func (vm *VM) deadlockError() error {
 		vm.liveCount, blocked)
 }
 
-// finishThread retires a terminated thread and wakes its joiners after
-// the configured join hand-off latency.
+// finishThread retires a terminated thread, completes its job when it
+// was the job's last live thread, and wakes its joiners after the
+// configured join hand-off latency.
 func (vm *VM) finishThread(core *cell.Core, t *Thread) {
 	vm.liveCount--
+	if job := t.job; job != nil {
+		job.live--
+		if job.live == 0 && !job.done {
+			job.done = true
+			job.CompletedAt = core.Now
+		}
+	}
 	for _, j := range t.joiners {
 		j.State = StateReady
 		j.ReadyAt = core.Now + vm.Cfg.JoinWakeCycles
@@ -390,7 +434,7 @@ func (vm *VM) finishThread(core *cell.Core, t *Thread) {
 // migrations) or arranged the frame stack appropriately.
 func (vm *VM) migrate(core *cell.Core, t *Thread, target isa.CoreKind, words int) {
 	cost := vm.Cfg.MigrationBaseCycles + vm.Cfg.MigrationWordCycles*uint64(words)
-	t.Migrations++
+	vm.noteMigrated(t, core.Now+cost)
 	vm.place(t, target)
 	vm.scheduler.NoteMigration(core, vm.coreFor(t.Kind, t.CoreID))
 	t.ReadyAt = core.Now + cost

@@ -184,32 +184,32 @@ func registerBuiltins(vm *VM) {
 		Fn: sysArraycopy})
 	reg("java/lang/System.currentTimeMillis", &Native{Kind: NativeCompute, Cycles: 30, Class: isa.ClassInt,
 		Fn: func(c *NativeCtx) error {
-			c.ReturnL(int64(c.Core.Now / 3_200_000)) // 3.2 GHz
+			c.ReturnL(int64(float64(c.Core.Now) / (c.VM.Cfg.Machine.EffectiveClockHz() / 1e3)))
 			return nil
 		}})
 	reg("java/lang/System.nanoTime", &Native{Kind: NativeCompute, Cycles: 30, Class: isa.ClassInt,
 		Fn: func(c *NativeCtx) error {
-			c.ReturnL(int64(float64(c.Core.Now) / 3.2))
+			c.ReturnL(int64(float64(c.Core.Now) / (c.VM.Cfg.Machine.EffectiveClockHz() / 1e9)))
 			return nil
 		}})
 	reg("java/lang/System.println", &Native{Kind: NativeSyscall, Cycles: 400, Class: isa.ClassBranch,
 		Fn: func(c *NativeCtx) error {
-			fmt.Fprintln(c.VM.stdout, c.VM.GoString(Ref(c.Args[0])))
+			fmt.Fprintln(c.VM.outFor(c.Thread), c.VM.GoString(Ref(c.Args[0])))
 			return nil
 		}})
 	reg("java/lang/System.printInt", &Native{Kind: NativeSyscall, Cycles: 400, Class: isa.ClassBranch,
 		Fn: func(c *NativeCtx) error {
-			fmt.Fprintln(c.VM.stdout, int32(uint32(c.Args[0])))
+			fmt.Fprintln(c.VM.outFor(c.Thread), int32(uint32(c.Args[0])))
 			return nil
 		}})
 	reg("java/lang/System.printLong", &Native{Kind: NativeSyscall, Cycles: 400, Class: isa.ClassBranch,
 		Fn: func(c *NativeCtx) error {
-			fmt.Fprintln(c.VM.stdout, int64(c.Args[0]))
+			fmt.Fprintln(c.VM.outFor(c.Thread), int64(c.Args[0]))
 			return nil
 		}})
 	reg("java/lang/System.printDouble", &Native{Kind: NativeSyscall, Cycles: 400, Class: isa.ClassBranch,
 		Fn: func(c *NativeCtx) error {
-			fmt.Fprintln(c.VM.stdout, math.Float64frombits(c.Args[0]))
+			fmt.Fprintln(c.VM.outFor(c.Thread), math.Float64frombits(c.Args[0]))
 			return nil
 		}})
 
@@ -269,9 +269,10 @@ func (vm *VM) startJavaThread(c *NativeCtx, recv Ref) error {
 	if runM == nil || runM.IsStatic() {
 		return &TrapError{Kind: "InternalError", Detail: "no run() on " + cls.Name}
 	}
-	// Virtual dispatch: the most-derived override.
+	// Virtual dispatch: the most-derived override. The spawned thread
+	// joins the spawner's job, so whole thread trees stay attributable.
 	runM = cls.VTable[runM.VSlot]
-	t, err := vm.StartThread(fmt.Sprintf("Thread-%d", vm.nextTID), runM,
+	t, err := vm.startThread(c.Thread.job, fmt.Sprintf("Thread-%d", vm.nextTID), runM,
 		c.Core.Now, []uint64{uint64(recv)}, []bool{true})
 	if err != nil {
 		return &TrapError{Kind: "InternalError", Detail: err.Error()}

@@ -147,8 +147,19 @@ type Thread struct {
 	// waitCount preserves monitor recursion across Object.wait.
 	waitCount int
 
-	// Migrations counts core-type switches, for reports.
+	// Migrations counts core-type switches, for reports; Steals counts
+	// same-kind work steals that moved this thread.
 	Migrations uint64
+	Steals     uint64
+
+	// job is the admission the thread belongs to (nil for threads
+	// started outside the job API); spawned threads inherit it.
+	job *Job
+
+	// cooldownUntil is the migration-hysteresis horizon: the scheduler
+	// may not re-migrate the thread cross-kind until its core's clock
+	// passes it (Config.MigrateCooldownCycles).
+	cooldownUntil cell.Clock
 }
 
 func (t *Thread) top() *Frame { return t.Frames[len(t.Frames)-1] }

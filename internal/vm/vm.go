@@ -51,6 +51,14 @@ type Config struct {
 	// a different ISA and memory model. Ignored by the other schedulers.
 	MigrateCycles uint64
 
+	// MigrateCooldownCycles is the migration-hysteresis window: after
+	// any cross-kind migration, the "migrate" scheduler may not
+	// re-migrate the thread until its core's clock has advanced past
+	// the migration start plus this many cycles, so oscillating load
+	// cannot ping-pong a thread between kinds. 0 disables the guard;
+	// the default is ~2x MigrateCycles.
+	MigrateCooldownCycles uint64
+
 	// JoinWakeCycles is the wake-up latency charged to a joining thread
 	// when the thread it waits on terminates (the join hand-off cost).
 	JoinWakeCycles uint64
@@ -95,25 +103,26 @@ type Config struct {
 // defaults.
 func DefaultConfig() Config {
 	return Config{
-		Machine:             cell.DefaultConfig(),
-		DataCache:           cache.DefaultDataCacheConfig(),
-		CodeCache:           cache.DefaultCodeCacheConfig(),
-		HeapBytes:           32 << 20,
-		CodeBytes:           6 << 20,
-		BootBytes:           1 << 20,
-		Quantum:             4000,
-		Scheduler:           sched.DefaultName,
-		StealCycles:         400,
-		MigrateCycles:       600,
-		JoinWakeCycles:      100,
-		MigrationBaseCycles: 600,
-		MigrationWordCycles: 8,
-		SyscallSendCycles:   250,
-		SyscallServeCycles:  600,
-		GCPauseBase:         20000,
-		GCPerObject:         80,
-		Policy:              nil,
-		Stdout:              nil,
+		Machine:               cell.DefaultConfig(),
+		DataCache:             cache.DefaultDataCacheConfig(),
+		CodeCache:             cache.DefaultCodeCacheConfig(),
+		HeapBytes:             32 << 20,
+		CodeBytes:             6 << 20,
+		BootBytes:             1 << 20,
+		Quantum:               4000,
+		Scheduler:             sched.DefaultName,
+		StealCycles:           400,
+		MigrateCycles:         600,
+		MigrateCooldownCycles: 1200,
+		JoinWakeCycles:        100,
+		MigrationBaseCycles:   600,
+		MigrationWordCycles:   8,
+		SyscallSendCycles:     250,
+		SyscallServeCycles:    600,
+		GCPauseBase:           20000,
+		GCPerObject:           80,
+		Policy:                nil,
+		Stdout:                nil,
 	}
 }
 
@@ -169,6 +178,7 @@ type VM struct {
 	byJavaObj map[Ref]*Thread
 	scheduler sched.Scheduler
 	liveCount int
+	jobs      []*Job
 
 	monitors map[Ref]*monitor
 

@@ -29,13 +29,14 @@ func Compress() Spec {
 		Name:         "compress",
 		MainClass:    "CompressMain",
 		DefaultScale: lzwDefaultScale,
-		Build:        buildCompress,
+		Build:        buildVia(buildCompressInto),
+		BuildInto:    buildCompressInto,
 		Reference:    refCompress,
 	}
 }
 
-func buildCompress(threads, scale int) (*classfile.Program, error) {
-	h := newHarness("CompressWorker")
+func buildCompressInto(p *classfile.Program, prefix string, threads, scale int) error {
+	h := newHarnessIn(p, prefix, "CompressWorker")
 	w := h.worker
 
 	// static void fill(byte[] in, int id): deterministic pseudo-text.
@@ -377,8 +378,8 @@ func buildCompress(threads, scale int) (*classfile.Program, error) {
 		a.MustBuild()
 	}
 
-	h.buildMain("CompressMain", threads, scale, nil)
-	return h.p, nil
+	h.buildMain(prefix+"CompressMain", threads, scale, nil)
+	return nil
 }
 
 // refCompress mirrors the bytecode exactly in Go (Java int32 wrapping

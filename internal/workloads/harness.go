@@ -36,6 +36,15 @@ type Spec struct {
 	MainClass string
 	// Build constructs the program for the given worker count and scale.
 	Build func(threads, scale int) (*classfile.Program, error)
+	// BuildInto adds an isolated copy of the workload's classes —
+	// including its Counter and any coefficient tables, so per-instance
+	// statics never collide — to an existing stdlib-equipped program
+	// under a class-name prefix. The copy's entry point is
+	// prefix+MainClass. Many copies (of the same or different
+	// workloads) can share one program, which is how the job-serving
+	// harness runs many concurrent benchmark instances on one booted
+	// VM.
+	BuildInto func(p *classfile.Program, prefix string, threads, scale int) error
 	// Reference computes the expected checksum in pure Go.
 	Reference func(threads, scale int) int32
 	// DefaultScale is the scale used by the experiment harness.
@@ -69,16 +78,42 @@ type harness struct {
 	add     *classfile.Method
 }
 
+// stdlibProgram returns a fresh program with the built-in library
+// installed — the base every workload build starts from.
+func stdlibProgram() *classfile.Program {
+	p := classfile.NewProgram()
+	vm.Stdlib(p)
+	return p
+}
+
+// buildVia adapts a workload's BuildInto builder to the one-shot Build
+// signature: a fresh stdlib program holding one unprefixed copy.
+func buildVia(into func(p *classfile.Program, prefix string, threads, scale int) error,
+) func(threads, scale int) (*classfile.Program, error) {
+	return func(threads, scale int) (*classfile.Program, error) {
+		p := stdlibProgram()
+		if err := into(p, "", threads, scale); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+}
+
 // newHarness creates a program with the stdlib, a Counter class with a
 // synchronized adder, and a Worker (extends Thread) whose run() body the
 // workload fills in. run() is annotated so the placement policy sends
 // workers to SPEs when the machine has them.
 func newHarness(workerName string) *harness {
-	p := classfile.NewProgram()
-	vm.Stdlib(p)
+	return newHarnessIn(stdlibProgram(), "", workerName)
+}
+
+// newHarnessIn is newHarness into an existing stdlib-equipped program,
+// with every created class name prefixed so multiple workload copies
+// coexist without sharing statics (each copy gets its own Counter).
+func newHarnessIn(p *classfile.Program, prefix, workerName string) *harness {
 	threadCls := p.Lookup("java/lang/Thread")
 
-	counter := p.NewClass("Counter", nil)
+	counter := p.NewClass(prefix+"Counter", nil)
 	total := counter.NewStaticField("total", classfile.Int)
 	add := counter.NewMethod("add", classfile.FlagStatic|classfile.FlagSynchronized,
 		classfile.Void, classfile.Int)
@@ -92,7 +127,7 @@ func newHarness(workerName string) *harness {
 		a.MustBuild()
 	}
 
-	w := p.NewClass(workerName, threadCls)
+	w := p.NewClass(prefix+workerName, threadCls)
 	h := &harness{
 		p:       p,
 		worker:  w,

@@ -1,0 +1,41 @@
+package workloads
+
+import (
+	"fmt"
+
+	"herajvm/internal/classfile"
+)
+
+// MixEntry is one job instance in a multi-job program: a workload plus
+// its worker count and scale.
+type MixEntry struct {
+	Spec    Spec
+	Threads int
+	Scale   int
+}
+
+// JobPrefix returns the class-name prefix isolating mix entry i's
+// classes ("J07" — entry i's entry point is JobPrefix(i)+MainClass).
+func JobPrefix(i int) string { return fmt.Sprintf("J%02d", i) }
+
+// MainClassOf returns mix entry i's entry-point class name.
+func (e MixEntry) MainClassOf(i int) string { return JobPrefix(i) + e.Spec.MainClass }
+
+// BuildMix builds one program containing an isolated copy of each
+// entry's workload classes (separate Counters, separate coefficient
+// tables), so many benchmark instances — of the same workload or
+// different ones — can run concurrently as jobs on one booted VM
+// without sharing mutable statics. Entry i's entry point is
+// JobPrefix(i)+MainClass.
+func BuildMix(entries []MixEntry) (*classfile.Program, error) {
+	p := stdlibProgram()
+	for i, e := range entries {
+		if e.Spec.BuildInto == nil {
+			return nil, fmt.Errorf("workloads: %s has no BuildInto builder", e.Spec.Name)
+		}
+		if err := e.Spec.BuildInto(p, JobPrefix(i), e.Threads, e.Scale); err != nil {
+			return nil, fmt.Errorf("workloads: mix entry %d (%s): %w", i, e.Spec.Name, err)
+		}
+	}
+	return p, nil
+}

@@ -26,13 +26,14 @@ func Mandelbrot() Spec {
 		Name:         "mandelbrot",
 		MainClass:    "MandelbrotMain",
 		DefaultScale: mandelDefaultScale,
-		Build:        buildMandelbrot,
+		Build:        buildVia(buildMandelbrotInto),
+		BuildInto:    buildMandelbrotInto,
 		Reference:    refMandelbrot,
 	}
 }
 
-func buildMandelbrot(threads, scale int) (*classfile.Program, error) {
-	h := newHarness("MandelWorker")
+func buildMandelbrotInto(p *classfile.Program, prefix string, threads, scale int) error {
+	h := newHarnessIn(p, prefix, "MandelWorker")
 	a := h.run.Asm()
 
 	// Locals: 0=this 1=chk 2=y 3=x 4=cy 5=cx 6=zx 7=zy 8=iter 9=t
@@ -187,8 +188,8 @@ func buildMandelbrot(threads, scale int) (*classfile.Program, error) {
 	a.RetVoid()
 	a.MustBuild()
 
-	h.buildMain("MandelbrotMain", threads, scale, nil)
-	return h.p, nil
+	h.buildMain(prefix+"MandelbrotMain", threads, scale, nil)
+	return nil
 }
 
 // refMandelbrot mirrors the bytecode exactly in Go (same float64

@@ -30,20 +30,20 @@ func MPEGAudio() Spec {
 		Name:         "mpegaudio",
 		MainClass:    "MpegMain",
 		DefaultScale: mpaDefaultScale,
-		Build:        buildMPEGAudio,
+		Build:        buildVia(buildMPEGAudioInto),
+		BuildInto:    buildMPEGAudioInto,
 		Reference:    refMPEGAudio,
 	}
 }
 
-func buildMPEGAudio(threads, scale int) (*classfile.Program, error) {
-	h := newHarness("MpegWorker")
-	p := h.p
+func buildMPEGAudioInto(p *classfile.Program, prefix string, threads, scale int) error {
+	h := newHarnessIn(p, prefix, "MpegWorker")
 	mathCls := p.Lookup("java/lang/Math")
 	mCos := mathCls.MethodByName("cos")
 	mSin := mathCls.MethodByName("sin")
 
 	// --- Tables: coefficient arrays filled by init() ---
-	tables := p.NewClass("Tables", nil)
+	tables := p.NewClass(prefix+"Tables", nil)
 	cosT := tables.NewStaticField("cosT", classfile.Ref)
 	win := tables.NewStaticField("win", classfile.Ref)
 	cs := tables.NewStaticField("cs", classfile.Ref)
@@ -125,7 +125,7 @@ func buildMPEGAudio(threads, scale int) (*classfile.Program, error) {
 	}
 
 	// --- Huff.decode(int v): symbol decode via tableswitch ---
-	huff := p.NewClass("Huff", nil)
+	huff := p.NewClass(prefix+"Huff", nil)
 	decode := huff.NewMethod("decode", classfile.FlagStatic, classfile.Int, classfile.Int)
 	{
 		a := decode.Asm()
@@ -148,7 +148,7 @@ func buildMPEGAudio(threads, scale int) (*classfile.Program, error) {
 	}
 
 	// --- Deq.pow43(double x): sign(x)*|x|^(4/3) proxy via Newton ---
-	deq := p.NewClass("Deq", nil)
+	deq := p.NewClass(prefix+"Deq", nil)
 	pow43 := deq.NewMethod("pow43", classfile.FlagStatic, classfile.Double, classfile.Double)
 	{
 		a := pow43.Asm()
@@ -200,7 +200,7 @@ func buildMPEGAudio(threads, scale int) (*classfile.Program, error) {
 	// coefficient base, so the whole 32-kernel working set streams
 	// through the code cache repeatedly per frame, as a real decoder's
 	// per-sample synthesis does. ---
-	band := p.NewClass("Band", nil)
+	band := p.NewClass(prefix+"Band", nil)
 	bandMethods := make([]*classfile.Method, mpaBands)
 	for k := 0; k < mpaBands; k++ {
 		m := band.NewMethod(fmt.Sprintf("b%d", k), classfile.FlagStatic, classfile.Double,
@@ -232,7 +232,7 @@ func buildMPEGAudio(threads, scale int) (*classfile.Program, error) {
 	}
 
 	// --- Syn.s0..s15: unrolled polyphase-synthesis dot products ---
-	syn := p.NewClass("Syn", nil)
+	syn := p.NewClass(prefix+"Syn", nil)
 	synMethods := make([]*classfile.Method, mpaSynthDots)
 	for j := 0; j < mpaSynthDots; j++ {
 		m := syn.NewMethod(fmt.Sprintf("s%d", j), classfile.FlagStatic, classfile.Double,
@@ -261,7 +261,7 @@ func buildMPEGAudio(threads, scale int) (*classfile.Program, error) {
 	}
 
 	// --- Decoder.decodeFrame(int id, int f) ---
-	decoder := p.NewClass("Decoder", nil)
+	decoder := p.NewClass(prefix+"Decoder", nil)
 	decodeFrame := decoder.NewMethod("decodeFrame", classfile.FlagStatic, classfile.Int,
 		classfile.Int, classfile.Int)
 	{
@@ -518,8 +518,8 @@ func buildMPEGAudio(threads, scale int) (*classfile.Program, error) {
 		a.MustBuild()
 	}
 
-	h.buildMain("MpegMain", threads, scale, initM)
-	return h.p, nil
+	h.buildMain(prefix+"MpegMain", threads, scale, initM)
+	return nil
 }
 
 // --- Go reference, mirroring the bytecode op for op ---
