@@ -14,6 +14,9 @@
 //	herabench -fig serve -jobs 40 -cadence 250000       # heavier churn
 //	herabench -fig 4a -sched steal                      # any figure, stealing scheduler
 //	herabench -full -fig topo -topology "ppe:1,spe:6;ppe:1,spe:4,vpu:2"
+//	herabench -fig simspeed                             # simulator wall-clock: fast path on vs off
+//	herabench -fig simspeed -json BENCH_simspeed.json -baseline testdata/BENCH_simspeed_baseline.json
+//	herabench -fig simspeed -nowall                     # deterministic columns only (replay gates)
 package main
 
 import (
@@ -31,14 +34,17 @@ type table interface{ Table() string }
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | topo | steal | migrate | serve | all")
+		fig   = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | topo | steal | migrate | serve | simspeed | all")
 		full  = flag.Bool("full", false, "paper-shaped workload sizes (slower)")
 		sched = flag.String("sched", "", "scheduler for every run: calendar | steal | migrate (default: calendar)")
 		topos = flag.String("topology", "",
 			`semicolon-separated machine shapes for the topo/steal/migrate/serve sweeps, e.g. "ppe:1,spe:6;ppe:1,spe:4,vpu:2"`)
-		jobs    = flag.Int("jobs", 0, "serve driver: number of jobs submitted to the booted VM (default 21)")
-		cadence = flag.Uint64("cadence", 0, "serve driver: cycles between job arrivals (default 500000)")
-		verb    = flag.Bool("v", false, "log per-run progress to stderr")
+		jobs     = flag.Int("jobs", 0, "serve driver: number of jobs submitted to the booted VM (default 21)")
+		cadence  = flag.Uint64("cadence", 0, "serve driver: cycles between job arrivals (default 500000)")
+		nowall   = flag.Bool("nowall", false, "simspeed: omit wall-clock columns so output replays byte for byte")
+		jsonPath = flag.String("json", "", "simspeed: write the sweep as JSON (the BENCH_simspeed.json shape) to this path")
+		baseline = flag.String("baseline", "", "simspeed: compare speedups against this baseline JSON; exit 1 on regression")
+		verb     = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	flag.Parse()
 
@@ -52,6 +58,7 @@ func main() {
 	opt.Scheduler = *sched
 	opt.ServeJobs = *jobs
 	opt.ServeCadence = *cadence
+	opt.NoWall = *nowall
 	if *topos != "" {
 		list, err := cell.ParseTopologyList(*topos)
 		if err != nil {
@@ -65,6 +72,9 @@ func main() {
 		id  string
 		run func(experiments.Options) (table, error)
 	}
+	// simspeed's result is kept concrete for the -json / -baseline
+	// post-processing below.
+	var simspeed *experiments.SimSpeed
 	all := []experiment{
 		{"4a", func(o experiments.Options) (table, error) { return experiments.RunFig4a(o) }},
 		{"4b", func(o experiments.Options) (table, error) { return experiments.RunFig4b(o) }},
@@ -79,6 +89,13 @@ func main() {
 		{"steal", func(o experiments.Options) (table, error) { return experiments.RunStealSweep(o) }},
 		{"migrate", func(o experiments.Options) (table, error) { return experiments.RunMigrateSweep(o) }},
 		{"serve", func(o experiments.Options) (table, error) { return experiments.RunServe(o) }},
+		{"simspeed", func(o experiments.Options) (table, error) {
+			s, err := experiments.RunSimSpeed(o)
+			if err == nil {
+				simspeed = s
+			}
+			return s, err
+		}},
 	}
 
 	want := strings.ToLower(*fig)
@@ -98,5 +115,30 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
+	}
+
+	if simspeed != nil {
+		if *jsonPath != "" {
+			out, err := simspeed.JSON()
+			if err == nil {
+				err = os.WriteFile(*jsonPath, out, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simspeed json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *baseline != "" {
+			ref, err := os.ReadFile(*baseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "simspeed baseline: %v\n", err)
+				os.Exit(1)
+			}
+			if err := simspeed.CheckBaseline(ref); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println("simspeed baseline gate: ok")
+		}
 	}
 }

@@ -7,6 +7,7 @@
 package cache
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"herajvm/internal/cell"
@@ -59,19 +60,85 @@ type dcEntry struct {
 	dirty    bool
 }
 
+// tabSlot is one open-addressing slot of the lookup table. gen stamps
+// which flush generation wrote the slot, so invalidating the whole
+// cache is a generation bump instead of a table clear; idx is the slab
+// index of the entry, or -1 for a tombstone left by a retired entry.
+type tabSlot struct {
+	gen uint32
+	idx int32
+}
+
 // DataCache is one local-store core's software object/array cache.
 // Cached bytes live
 // in the core's real local store; main memory remains the backing truth
 // only after a flush, which is exactly the (lack of) coherence the paper
 // describes and the Java Memory Model hooks rely on.
+//
+// The lookup structure is a host-side implementation detail tuned for
+// the simulator's hot path (every SPE memory instruction probes it):
+// entries live in an append-only slab reused across flushes, and an
+// open-addressed, generation-stamped table maps main-memory addresses to
+// slab indices. Simulated behaviour — probe/insert cycle charges, hit
+// and miss counts, write-back order — is identical to a map-based
+// implementation; only host time differs.
 type DataCache struct {
 	cfg  DataCacheConfig
 	core *cell.Core
 	base uint32 // region origin within the local store
 	bump uint32
 
-	entries map[mem.Addr]*dcEntry
-	order   []*dcEntry // insertion order, for deterministic write-back
+	slab  []dcEntry // entries of the current generation, in insertion order
+	order []int32   // live slab indices, insertion order, for write-back
+	live  int       // live entries (len(order))
+	tab   []tabSlot // open-addressed addr -> slab index
+	mask  uint32    // len(tab)-1; len(tab) is a power of two
+	gen   uint32    // current flush generation
+}
+
+// dcLookup returns the slab index of addr's live entry, or -1.
+func (d *DataCache) dcLookup(addr mem.Addr) int32 {
+	i := (addr * 2654435761) & d.mask // Fibonacci hashing; deterministic
+	for {
+		s := d.tab[i]
+		if s.gen != d.gen || s.idx == 0 {
+			return -1
+		}
+		if s.idx > 0 && d.slab[s.idx-1].mainAddr == addr {
+			return s.idx - 1
+		}
+		i = (i + 1) & d.mask // tombstone or collision: keep probing
+	}
+}
+
+// dcInsert installs a slab index for addr, reusing tombstones.
+func (d *DataCache) dcInsert(addr mem.Addr, idx int32) {
+	i := (addr * 2654435761) & d.mask
+	for {
+		s := d.tab[i]
+		if s.gen != d.gen || s.idx <= 0 {
+			d.tab[i] = tabSlot{gen: d.gen, idx: idx + 1}
+			return
+		}
+		i = (i + 1) & d.mask
+	}
+}
+
+// dcDelete tombstones addr's slot (the entry stays in the slab so the
+// write-back order of surviving entries is untouched).
+func (d *DataCache) dcDelete(addr mem.Addr) {
+	i := (addr * 2654435761) & d.mask
+	for {
+		s := d.tab[i]
+		if s.gen != d.gen || s.idx == 0 {
+			return
+		}
+		if s.idx > 0 && d.slab[s.idx-1].mainAddr == addr {
+			d.tab[i] = tabSlot{gen: d.gen, idx: -1}
+			return
+		}
+		i = (i + 1) & d.mask
+	}
 }
 
 // NewDataCache builds a data cache over core's local store, occupying
@@ -87,34 +154,80 @@ func NewDataCache(cfg DataCacheConfig, core *cell.Core, base uint32) *DataCache 
 	if cfg.ArrayBlock == 0 || cfg.ArrayBlock&(cfg.ArrayBlock-1) != 0 {
 		panic("cache: array block size must be a power of two")
 	}
+	// The table must comfortably hold a whole generation's inserts:
+	// allocations are 16-byte aligned, so a generation sees at most
+	// Size/16 of them (plus the MaxEntries flush bound), and every
+	// insert occupies at most one new slot.
+	want := 2 * (cfg.MaxEntries + int(cfg.Size/16) + 1)
+	tabSize := 64
+	for tabSize < want {
+		tabSize *= 2
+	}
 	return &DataCache{
-		cfg:     cfg,
-		core:    core,
-		base:    base,
-		entries: make(map[mem.Addr]*dcEntry),
+		cfg:  cfg,
+		core: core,
+		base: base,
+		tab:  make([]tabSlot, tabSize),
+		mask: uint32(tabSize - 1),
+		gen:  1,
 	}
 }
 
 // Config returns the cache's configuration.
 func (d *DataCache) Config() DataCacheConfig { return d.cfg }
 
+// Residency classes partition a cache's occupancy into coarse states
+// that executor-level memoization may key on: the executor's superblock
+// fast path asks which class a core's data cache is in before replaying
+// a memoized block, so a block whose cost depends on residency can be
+// cached per class. The query must be O(1) and deterministic — it sits
+// on the per-block hot path.
+const (
+	// ResidencyCold: the cache holds no entries (first touch misses).
+	ResidencyCold uint8 = iota
+	// ResidencyWarm: entries are live and at most half the capacity is
+	// allocated (inserts proceed without eviction pressure).
+	ResidencyWarm
+	// ResidencyPressure: more than half the capacity is allocated
+	// (flush-on-fill is near).
+	ResidencyPressure
+
+	// NumResidencyClasses is the number of residency classes.
+	NumResidencyClasses = int(ResidencyPressure) + 1
+)
+
+// ResidencyClass returns the cache's current residency class. O(1).
+func (d *DataCache) ResidencyClass() uint8 {
+	switch {
+	case d.live == 0:
+		return ResidencyCold
+	case d.bump <= d.cfg.Size/2:
+		return ResidencyWarm
+	default:
+		return ResidencyPressure
+	}
+}
+
 // Entries returns the number of live cache entries (for tests/reports).
-func (d *DataCache) Entries() int { return len(d.entries) }
+func (d *DataCache) Entries() int { return d.live }
 
 // UsedBytes returns the bump-allocated bytes.
 func (d *DataCache) UsedBytes() uint32 { return d.bump }
 
 // ensure returns the local-store address of the cached copy of
-// [mainAddr, mainAddr+size), transferring it in on a miss. It advances
-// and returns the core clock.
-func (d *DataCache) ensure(now cell.Clock, mainAddr mem.Addr, size uint32) (uint32, cell.Clock) {
+// [mainAddr, mainAddr+size) and its slab index, transferring it in on a
+// miss. It advances and returns the core clock. The index lets write
+// paths mark the entry dirty without a second lookup; it is only valid
+// until the next ensure (a flush retires the slab generation).
+func (d *DataCache) ensure(now cell.Clock, mainAddr mem.Addr, size uint32) (uint32, int32, cell.Clock) {
 	d.core.Stats.Charge(isa.ClassLocalMem, uint64(d.cfg.ProbeCycles))
 	now += cell.Clock(d.cfg.ProbeCycles)
 
-	if e, ok := d.entries[mainAddr]; ok {
+	if idx := d.dcLookup(mainAddr); idx >= 0 {
+		e := &d.slab[idx]
 		if e.size >= size {
 			d.core.Stats.DataHits++
-			return e.lsAddr, now
+			return e.lsAddr, idx, now
 		}
 		// A smaller unit is cached at this address (e.g. a header window
 		// before the whole object was requested): retire it, writing back
@@ -125,9 +238,10 @@ func (d *DataCache) ensure(now cell.Clock, mainAddr mem.Addr, size uint32) (uint
 			d.core.Stats.Charge(isa.ClassMainMem, done-now)
 			now = done
 		}
-		delete(d.entries, mainAddr)
+		d.dcDelete(mainAddr)
+		d.live--
 		for i, o := range d.order {
-			if o == e {
+			if o == idx {
 				d.order = append(d.order[:i], d.order[i+1:]...)
 				break
 			}
@@ -141,7 +255,7 @@ func (d *DataCache) ensure(now cell.Clock, mainAddr mem.Addr, size uint32) (uint
 	if size > d.cfg.Size {
 		panic(fmt.Sprintf("cache: unit of %d bytes exceeds data cache of %d", size, d.cfg.Size))
 	}
-	if d.bump+size > d.cfg.Size || len(d.entries) >= d.cfg.MaxEntries {
+	if d.bump+size > d.cfg.Size || d.live >= d.cfg.MaxEntries {
 		now = d.flushAll(now, true)
 		d.core.Stats.DataFlushes++
 	}
@@ -158,10 +272,12 @@ func (d *DataCache) ensure(now cell.Clock, mainAddr mem.Addr, size uint32) (uint
 	d.core.Stats.Charge(isa.ClassMainMem, done-now)
 	now = done
 
-	e := &dcEntry{mainAddr: mainAddr, lsAddr: lsAddr, size: size}
-	d.entries[mainAddr] = e
-	d.order = append(d.order, e)
-	return lsAddr, now
+	idx := int32(len(d.slab))
+	d.slab = append(d.slab, dcEntry{mainAddr: mainAddr, lsAddr: lsAddr, size: size})
+	d.dcInsert(mainAddr, idx)
+	d.live++
+	d.order = append(d.order, idx)
+	return lsAddr, idx, now
 }
 
 // clip returns the cached unit covering an access of width bytes at
@@ -192,7 +308,7 @@ func (d *DataCache) clip(unitAddr mem.Addr, unitSize, off, width uint32, block b
 // whole object on first touch (§3.2.1's getfield behaviour).
 func (d *DataCache) ReadObject(now cell.Clock, objAddr mem.Addr, objSize, off, width uint32) (uint64, cell.Clock) {
 	addr, size, rel := d.clip(objAddr, objSize, off, width, false)
-	ls, now := d.ensure(now, addr, size)
+	ls, _, now := d.ensure(now, addr, size)
 	d.core.Stats.Charge(isa.ClassLocalMem, uint64(d.cfg.AccessCycles))
 	now += cell.Clock(d.cfg.AccessCycles)
 	return readLS(d.core.LS, ls+rel, width), now
@@ -202,11 +318,11 @@ func (d *DataCache) ReadObject(now cell.Clock, objAddr mem.Addr, objSize, off, w
 // caching it first and marking the entry dirty for write-back.
 func (d *DataCache) WriteObject(now cell.Clock, objAddr mem.Addr, objSize, off, width uint32, val uint64) cell.Clock {
 	addr, size, rel := d.clip(objAddr, objSize, off, width, false)
-	ls, now := d.ensure(now, addr, size)
+	ls, idx, now := d.ensure(now, addr, size)
 	d.core.Stats.Charge(isa.ClassLocalMem, uint64(d.cfg.AccessCycles))
 	now += cell.Clock(d.cfg.AccessCycles)
 	writeLS(d.core.LS, ls+rel, width, val)
-	d.entries[addr].dirty = true
+	d.slab[idx].dirty = true
 	return now
 }
 
@@ -215,7 +331,7 @@ func (d *DataCache) WriteObject(now cell.Clock, objAddr mem.Addr, objSize, off, 
 // surrounding block of up to ArrayBlock bytes.
 func (d *DataCache) ReadArray(now cell.Clock, dataAddr mem.Addr, dataSize, off, width uint32) (uint64, cell.Clock) {
 	addr, size, rel := d.clip(dataAddr, dataSize, off, width, true)
-	ls, now := d.ensure(now, addr, size)
+	ls, _, now := d.ensure(now, addr, size)
 	d.core.Stats.Charge(isa.ClassLocalMem, uint64(d.cfg.AccessCycles))
 	now += cell.Clock(d.cfg.AccessCycles)
 	return readLS(d.core.LS, ls+rel, width), now
@@ -225,18 +341,22 @@ func (d *DataCache) ReadArray(now cell.Clock, dataAddr mem.Addr, dataSize, off, 
 // block dirty.
 func (d *DataCache) WriteArray(now cell.Clock, dataAddr mem.Addr, dataSize, off, width uint32, val uint64) cell.Clock {
 	addr, size, rel := d.clip(dataAddr, dataSize, off, width, true)
-	ls, now := d.ensure(now, addr, size)
+	ls, idx, now := d.ensure(now, addr, size)
 	d.core.Stats.Charge(isa.ClassLocalMem, uint64(d.cfg.AccessCycles))
 	now += cell.Clock(d.cfg.AccessCycles)
 	writeLS(d.core.LS, ls+rel, width, val)
-	d.entries[addr].dirty = true
+	d.slab[idx].dirty = true
 	return now
 }
 
-// flushAll writes back every dirty entry and, when invalidate is set,
-// drops all entries and resets the bump pointer.
+// flushAll writes back every dirty entry (in insertion order, which the
+// order slice preserves across retirements) and, when invalidate is set,
+// drops all entries and resets the bump pointer. Invalidation bumps the
+// table generation instead of clearing the table, so a flush costs the
+// write-backs alone.
 func (d *DataCache) flushAll(now cell.Clock, invalidate bool) cell.Clock {
-	for _, e := range d.order {
+	for _, idx := range d.order {
+		e := &d.slab[idx]
 		if !e.dirty {
 			continue
 		}
@@ -250,9 +370,17 @@ func (d *DataCache) flushAll(now cell.Clock, invalidate bool) cell.Clock {
 		e.dirty = false
 	}
 	if invalidate {
-		d.entries = make(map[mem.Addr]*dcEntry)
+		d.slab = d.slab[:0]
 		d.order = d.order[:0]
+		d.live = 0
 		d.bump = 0
+		d.gen++
+		if d.gen == 0 { // generation wrapped: stale stamps could alias
+			for i := range d.tab {
+				d.tab[i] = tabSlot{}
+			}
+			d.gen = 1
+		}
 	}
 	return now
 }
@@ -275,31 +403,30 @@ func (d *DataCache) Purge(now cell.Clock) cell.Clock {
 }
 
 func readLS(ls []byte, addr, width uint32) uint64 {
-	var v uint64
 	switch width {
 	case 1:
-		v = uint64(ls[addr])
+		return uint64(ls[addr])
 	case 2:
-		v = uint64(ls[addr]) | uint64(ls[addr+1])<<8
+		return uint64(binary.LittleEndian.Uint16(ls[addr:]))
 	case 4:
-		v = uint64(ls[addr]) | uint64(ls[addr+1])<<8 |
-			uint64(ls[addr+2])<<16 | uint64(ls[addr+3])<<24
+		return uint64(binary.LittleEndian.Uint32(ls[addr:]))
 	case 8:
-		for i := uint32(0); i < 8; i++ {
-			v |= uint64(ls[addr+i]) << (8 * i)
-		}
+		return binary.LittleEndian.Uint64(ls[addr:])
 	default:
 		panic(fmt.Sprintf("cache: bad access width %d", width))
 	}
-	return v
 }
 
 func writeLS(ls []byte, addr, width uint32, v uint64) {
 	switch width {
-	case 1, 2, 4, 8:
-		for i := uint32(0); i < width; i++ {
-			ls[addr+i] = byte(v >> (8 * i))
-		}
+	case 1:
+		ls[addr] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(ls[addr:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(ls[addr:], uint32(v))
+	case 8:
+		binary.LittleEndian.PutUint64(ls[addr:], v)
 	default:
 		panic(fmt.Sprintf("cache: bad access width %d", width))
 	}

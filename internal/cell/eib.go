@@ -11,7 +11,10 @@
 // deterministic.
 package cell
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Clock is a simulated time in cycles.
 type Clock = uint64
@@ -51,6 +54,11 @@ type interval struct {
 type EIB struct {
 	cfg      EIBConfig
 	channels [][]interval
+	// prunedAt is the last time prune ran; pruning is amortised to every
+	// quarter-horizon rather than every transfer (dropping dead
+	// intervals sooner or later never changes a gap search, so the
+	// cadence is invisible to simulated results).
+	prunedAt Clock
 
 	// Transfers and Bytes count all traffic carried.
 	Transfers uint64
@@ -78,12 +86,23 @@ func (e *EIB) Transfer(now Clock, n uint32) Clock {
 		dur = 1
 	}
 
+	// Uncontended fast path: when channel 0's last reservation ended by
+	// now, its gap search returns (now, len) — and no channel can start
+	// before now, so the strict-less tie-break keeps channel 0 anyway.
+	// Append there directly and skip the per-channel searches.
+	tl0 := e.channels[0]
+	free := len(tl0) == 0 || tl0[len(tl0)-1].end <= now
+
 	bestCh, bestIdx := -1, 0
 	var bestStart Clock
-	for ch := range e.channels {
-		start, idx := gapAt(e.channels[ch], now, dur)
-		if bestCh < 0 || start < bestStart {
-			bestCh, bestIdx, bestStart = ch, idx, start
+	if free {
+		bestCh, bestIdx, bestStart = 0, len(tl0), now
+	} else {
+		for ch := range e.channels {
+			start, idx := gapAt(e.channels[ch], now, dur)
+			if bestCh < 0 || start < bestStart {
+				bestCh, bestIdx, bestStart = ch, idx, start
+			}
 		}
 	}
 
@@ -104,10 +123,15 @@ func (e *EIB) Transfer(now Clock, n uint32) Clock {
 }
 
 // gapAt finds the earliest start >= now of a gap of length dur in a
-// sorted timeline, returning the start and the insertion index.
+// sorted timeline, returning the start and the insertion index. The
+// timeline's intervals are disjoint and sorted, so ends are increasing:
+// binary-search past everything that finished by now (those intervals
+// would only be skipped by the scan) and walk from there.
 func gapAt(tl []interval, now Clock, dur Clock) (Clock, int) {
 	start := now
-	for i, iv := range tl {
+	first := sort.Search(len(tl), func(i int) bool { return tl[i].end > now })
+	for i := first; i < len(tl); i++ {
+		iv := tl[i]
 		if iv.end <= start {
 			continue // interval entirely before our candidate start
 		}
@@ -124,12 +148,15 @@ func gapAt(tl []interval, now Clock, dur Clock) (Clock, int) {
 // prune drops intervals that ended long before now on all channels; no
 // future request can land there (core clocks only advance, and skew is
 // bounded by the scheduler's quantum plus blocking-operation latencies,
-// well under this horizon).
+// well under this horizon). It amortises to one sweep per
+// quarter-horizon — pruning exists only to bound timeline length, so
+// running it on every transfer just rescans live intervals.
 func (e *EIB) prune(now Clock) {
 	const horizon = 1 << 16
-	if now < horizon {
+	if now < horizon || now < e.prunedAt+horizon/4 {
 		return
 	}
+	e.prunedAt = now
 	cut := now - horizon
 	for ch, tl := range e.channels {
 		keep := 0

@@ -40,6 +40,10 @@ type Options struct {
 	// many cycles apart they arrive. 0 keeps the driver's defaults.
 	ServeJobs    int
 	ServeCadence uint64
+	// NoWall suppresses wall-clock columns in tables whose rows carry
+	// host timings (the simspeed sweep), so their output is replayable
+	// byte for byte in the determinism gates.
+	NoWall bool
 	// Progress, when non-nil, receives one line per completed run.
 	Progress io.Writer
 }

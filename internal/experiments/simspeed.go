@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/isa"
+	"herajvm/internal/vm"
+	"herajvm/internal/workloads"
+)
+
+// SimSpeed measures the simulator itself: host wall-clock seconds per
+// simulated gigacycle with the superblock fast path on (the default)
+// and off (Config.DisableSuperblocks), across workloads and schedulers.
+// The simulated results of the two runs must agree exactly — the sweep
+// doubles as an end-to-end check of the memoization contract — so the
+// Match column is as load-bearing as the speedup.
+type SimSpeed struct {
+	// Topology is the machine shape every cell used.
+	Topology string        `json:"topology"`
+	Rows     []SimSpeedRow `json:"rows"`
+	// NoWall omits host-timing columns from Table so the output is
+	// byte-for-byte replayable (wall clocks are not deterministic).
+	NoWall bool `json:"-"`
+}
+
+// SimSpeedRow is one (workload, scheduler) cell of the sweep.
+type SimSpeedRow struct {
+	Workload  string `json:"workload"`
+	Scheduler string `json:"scheduler"`
+	// Cycles is the simulated completion time (identical in both runs
+	// when Match holds).
+	Cycles uint64 `json:"cycles"`
+	// FastWallSecs/SlowWallSecs are host seconds for the run with the
+	// fast path on/off; the PerGigacycle pair normalises them by
+	// simulated work, which is the JSON baseline's unit of record.
+	FastWallSecs         float64 `json:"fast_wall_secs"`
+	SlowWallSecs         float64 `json:"slow_wall_secs"`
+	FastSecsPerGigacycle float64 `json:"fast_secs_per_gigacycle"`
+	SlowSecsPerGigacycle float64 `json:"slow_secs_per_gigacycle"`
+	// Speedup is SlowWallSecs/FastWallSecs — dimensionless, so the CI
+	// regression gate survives faster or slower runner hardware.
+	Speedup float64 `json:"speedup"`
+	// FFBlocks/FFInstrs count the fast run's memoized work; FFHitRate
+	// is the fraction of all retired instructions that fast-forwarded.
+	FFBlocks  uint64  `json:"ff_blocks"`
+	FFInstrs  uint64  `json:"ff_instrs"`
+	Instrs    uint64  `json:"instrs"`
+	FFHitRate float64 `json:"ff_hit_rate"`
+	// Match reports both runs were checksum-valid, agreed with each
+	// other, and finished at the same simulated cycle.
+	Match bool `json:"match"`
+}
+
+// DefaultSimSpeedTopology returns the sweep's machine shape: the
+// three-kind machine, so the fast path is exercised on service cores,
+// SPEs and VPUs at once.
+func DefaultSimSpeedTopology() cell.Topology {
+	return cell.Topology{
+		{Kind: isa.PPE, Count: 1},
+		{Kind: isa.SPE, Count: 4},
+		{Kind: isa.VPU, Count: 2},
+	}
+}
+
+var simSpeedSchedulers = []string{"calendar", "steal", "migrate"}
+
+// simSpeedRun is one timed execution of a workload.
+type simSpeedRun struct {
+	wall     time.Duration
+	cycles   uint64
+	checksum int32
+	valid    bool
+	ffBlocks uint64
+	ffInstrs uint64
+	instrs   uint64
+}
+
+// simSpeedReps is how many times each cell re-simulates; the minimum
+// wall time is kept. The simulation is deterministic, so every rep does
+// identical work and the minimum is the cleanest estimate of its cost —
+// single runs of a few hundred milliseconds are at the mercy of host
+// scheduling and GC pauses.
+const simSpeedReps = 3
+
+// timeOne builds and boots outside the timed region and times only the
+// simulation itself, so the measured ratio isolates the executor.
+func timeOne(spec workloads.Spec, threads, scale int, topo cell.Topology,
+	sched string, disable bool) (simSpeedRun, error) {
+
+	var r simSpeedRun
+	for rep := 0; rep < simSpeedReps; rep++ {
+		prog, err := spec.Build(threads, scale)
+		if err != nil {
+			return simSpeedRun{}, err
+		}
+		cfg := vm.DefaultConfig()
+		cfg.Machine.Topology = topo
+		cfg.Scheduler = sched
+		cfg.DisableSuperblocks = disable
+		machine, err := vm.New(cfg, prog)
+		if err != nil {
+			return simSpeedRun{}, err
+		}
+		runtime.GC() // keep collector pauses out of the timed region
+		t0 := time.Now()
+		th, err := machine.RunMain(spec.MainClass, "main")
+		wall := time.Since(t0)
+		if err != nil {
+			return simSpeedRun{}, fmt.Errorf("%s (%s, sched %s): %w", spec.Name, topo, sched, err)
+		}
+		if rep == 0 {
+			r = simSpeedRun{
+				wall:     wall,
+				cycles:   uint64(machine.Machine.MaxClock()),
+				checksum: int32(uint32(th.Result)),
+			}
+			r.valid = r.checksum == spec.Reference(threads, scale)
+			for _, c := range machine.Machine.Cores() {
+				r.ffBlocks += c.Stats.FastForwardedBlocks
+				r.ffInstrs += c.Stats.FastForwardedInstrs
+				r.instrs += c.Stats.Instrs
+			}
+		} else if wall < r.wall {
+			r.wall = wall
+		}
+	}
+	return r, nil
+}
+
+// RunSimSpeed executes the workloads x schedulers matrix twice per cell
+// — fast path on, fast path off — and reports wall-clock speedups and
+// fast-forward coverage. Options.Topologies[0] overrides the shape.
+func RunSimSpeed(opt Options) (*SimSpeed, error) {
+	topo := DefaultSimSpeedTopology()
+	if len(opt.Topologies) > 0 {
+		topo = opt.Topologies[0]
+	}
+	out := &SimSpeed{Topology: topo.String(), NoWall: opt.NoWall}
+	threads := topo.DefaultWorkers()
+	for _, spec := range workloads.All() {
+		scale := opt.scale(spec)
+		for _, sched := range simSpeedSchedulers {
+			fast, err := timeOne(spec, threads, scale, topo, sched, false)
+			if err != nil {
+				return nil, err
+			}
+			slow, err := timeOne(spec, threads, scale, topo, sched, true)
+			if err != nil {
+				return nil, err
+			}
+			row := SimSpeedRow{
+				Workload:     spec.Name,
+				Scheduler:    sched,
+				Cycles:       fast.cycles,
+				FastWallSecs: fast.wall.Seconds(),
+				SlowWallSecs: slow.wall.Seconds(),
+				FFBlocks:     fast.ffBlocks,
+				FFInstrs:     fast.ffInstrs,
+				Instrs:       fast.instrs,
+				Match: fast.valid && slow.valid &&
+					fast.checksum == slow.checksum && fast.cycles == slow.cycles,
+			}
+			if fast.cycles > 0 {
+				g := float64(fast.cycles) / 1e9
+				row.FastSecsPerGigacycle = row.FastWallSecs / g
+				row.SlowSecsPerGigacycle = row.SlowWallSecs / g
+			}
+			if row.FastWallSecs > 0 {
+				row.Speedup = row.SlowWallSecs / row.FastWallSecs
+			}
+			if fast.instrs > 0 {
+				row.FFHitRate = float64(fast.ffInstrs) / float64(fast.instrs)
+			}
+			opt.logf("simspeed %s/%s: %.3fs fast vs %.3fs slow (%.2fx, hit %.3f, match %v)",
+				spec.Name, sched, row.FastWallSecs, row.SlowWallSecs,
+				row.Speedup, row.FFHitRate, row.Match)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Table renders the sweep as text. With NoWall only the deterministic
+// columns print, so the determinism gates can replay the figure.
+func (s *SimSpeed) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Simulator speed: superblock fast-forward vs per-instruction stepping (%s)\n", s.Topology)
+	if s.NoWall {
+		fmt.Fprintf(&b, "%-12s %-9s %14s %12s %14s %8s %6s\n",
+			"benchmark", "sched", "cycles", "ff blocks", "ff instrs", "hit", "match")
+		for _, r := range s.Rows {
+			fmt.Fprintf(&b, "%-12s %-9s %14d %12d %14d %8.3f %6v\n",
+				r.Workload, r.Scheduler, r.Cycles, r.FFBlocks, r.FFInstrs, r.FFHitRate, r.Match)
+		}
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-12s %-9s %14s %10s %10s %8s %8s %6s\n",
+		"benchmark", "sched", "cycles", "fast s", "slow s", "speedup", "hit", "match")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-12s %-9s %14d %10.3f %10.3f %7.2fx %8.3f %6v\n",
+			r.Workload, r.Scheduler, r.Cycles, r.FastWallSecs, r.SlowWallSecs,
+			r.Speedup, r.FFHitRate, r.Match)
+	}
+	return b.String()
+}
+
+// JSON renders the sweep in the BENCH_simspeed.json shape.
+func (s *SimSpeed) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// CheckBaseline compares the sweep against a checked-in baseline (the
+// JSON a previous run wrote) and returns an error when any cell's
+// speedup regressed below 75% of the baseline's, or any cell diverged.
+// The comparison is between dimensionless speedup ratios, so faster or
+// slower runner hardware does not move the gate.
+func (s *SimSpeed) CheckBaseline(baseline []byte) error {
+	var base SimSpeed
+	if err := json.Unmarshal(baseline, &base); err != nil {
+		return fmt.Errorf("simspeed baseline: %w", err)
+	}
+	ref := make(map[string]float64, len(base.Rows))
+	for _, r := range base.Rows {
+		ref[r.Workload+"/"+r.Scheduler] = r.Speedup
+	}
+	var problems []string
+	for _, r := range s.Rows {
+		if !r.Match {
+			problems = append(problems,
+				fmt.Sprintf("%s/%s: fast and slow runs diverged", r.Workload, r.Scheduler))
+			continue
+		}
+		want, ok := ref[r.Workload+"/"+r.Scheduler]
+		if !ok {
+			continue
+		}
+		if floor := want * 0.75; r.Speedup < floor {
+			problems = append(problems, fmt.Sprintf(
+				"%s/%s: speedup %.2fx below floor %.2fx (baseline %.2fx)",
+				r.Workload, r.Scheduler, r.Speedup, floor, want))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("simspeed regression:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}

@@ -46,6 +46,11 @@ type CompiledMethod struct {
 	// in instruction selection, so raw machine PCs do not transfer).
 	BCIndex []int32
 	EntryOf []int32
+	// SB memoizes, per instruction index, the maximal pure straight-line
+	// superblock starting there (Len 0 = none); see Superblock. The VM's
+	// executor fast-forwards whole blocks through it. nil on hand-built
+	// CompiledMethods that bypassed Compile; the executor then steps.
+	SB []Superblock
 	// Addr and Size locate the encoded code in simulated main memory.
 	Addr mem.Addr
 	Size uint32
@@ -145,6 +150,9 @@ func (c *Compiler) Compile(m *classfile.Method) (*CompiledMethod, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Branch targets are resolved by lower's fixup pass, so trailing
+	// gotos in superblocks carry final Code indices.
+	cm.SB = discoverSuperblocks(cm.Code)
 	// Allocate the code real space in main memory and fill it with a
 	// recognisable pattern: the code cache DMAs these bytes around.
 	addr, err := c.region.Alloc(cm.Size, 16)

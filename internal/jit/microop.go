@@ -1,0 +1,775 @@
+package jit
+
+import (
+	"math"
+	"sort"
+
+	"herajvm/internal/isa"
+)
+
+// This file lowers a superblock's stack-machine instructions into
+// slot-addressed micro-ops at discovery time, so the executor's fast
+// path can replay a block without per-instruction operand-stack
+// bookkeeping. The lowering is a static stack-to-slot conversion: the
+// compiler tracks a symbolic operand stack, folds constants into
+// immediate operands, forwards LoadLocal/StoreLocal through direct
+// local addressing, and sinks a result produced immediately before a
+// StoreLocal straight into the local. A typical
+// `LoadLocal a; LoadLocal b; MulI; StoreLocal c` sequence becomes the
+// single micro-op `local c <- local a * local b`.
+//
+// The replay contract is the same byte-identical one runPure honours:
+// after a block replays, frame state (locals, operand stack and both
+// reference maps up to the final SP) must equal what per-instruction
+// stepping produces. Patterns the lowering cannot prove equivalent —
+// consuming operands the block did not push, Swap/DupX reordering of
+// symbolic values, more than a handful of deferred flag writes — make
+// compileMicro report ok=false and the executor falls back to the
+// stack-walking replay; correctness never depends on lowering success.
+
+// MicroOp is one slot-addressed operation. D, A and B address frame
+// storage: a non-negative value is an operand-stack slot relative to
+// the block's entry SP, a negative value -(i+1) is local variable i,
+// and the sentinel MicroImm (operands only) selects the Imm field.
+// At most one of A/B is MicroImm, so one Imm field serves both; the
+// compare ops repurpose Imm for their NaN result and never take
+// immediate operands.
+type MicroOp struct {
+	Code uint8
+	D    int32
+	A    int32
+	B    int32
+	Imm  uint64
+}
+
+// MicroImm marks an operand that reads MicroOp.Imm.
+const MicroImm int32 = math.MinInt32
+
+// FlagWrite is one deferred reference-map update applied after a
+// block's value micro-ops. Src 0 writes false, 1 writes true, and
+// j+2 copies the block-entry value of LocalRefs[j] (all sources are
+// resolved before any write lands, so entry values are well-defined
+// even when a write targets a source local).
+type FlagWrite struct {
+	// Idx is a local index (local-flag list) or an entry-SP-relative
+	// stack slot (stack-flag list).
+	Idx int32
+	Src int32
+}
+
+// maxFlagWrites bounds each deferred flag list so the replayer can
+// resolve sources into a fixed-size buffer without allocating.
+const maxFlagWrites = 8
+
+// Micro-op codes. The arithmetic codes mirror the isa ops of the same
+// name exactly — each replay case must be semantically identical to the
+// corresponding step/runPure case, including shift masking, divide
+// MinInt/-1 behaviour and float NaN handling.
+const (
+	MMov uint8 = iota // D <- A (raw 64-bit copy)
+	MMovImm
+	MAddI
+	MSubI
+	MMulI
+	MDivI
+	MRemI
+	MNegI
+	MAndI
+	MOrI
+	MXorI
+	MShlI
+	MShrI
+	MUShrI
+	MAddL
+	MSubL
+	MMulL
+	MDivL
+	MRemL
+	MNegL
+	MAndL
+	MOrL
+	MXorL
+	MShlL
+	MShrL
+	MUShrL
+	MCmpL
+	MAddF
+	MSubF
+	MMulF
+	MDivF
+	MNegF
+	MRemF
+	MCmpF
+	MAddD
+	MSubD
+	MMulD
+	MDivD
+	MNegD
+	MRemD
+	MCmpD
+	MI2L
+	MI2F
+	MI2D
+	ML2I
+	ML2F
+	ML2D
+	MF2I
+	MF2L
+	MF2D
+	MD2I
+	MD2L
+	MD2F
+	MI2B
+	MI2C
+	MI2S
+
+	// Memory micro-ops, one per absorbable memory instruction. Each is
+	// paired in order with a MemBound entry on the superblock; the
+	// executor charges the instruction's static cost, runs the
+	// step-identical cache/heap semantics with the micro-op's operands,
+	// and then charges the following pure segment. Loads write their
+	// result (value and reference flag) directly at D, always a stack
+	// slot: the result must sit at its stepped stack position in case
+	// the replay hands back at the next instruction.
+	MALoad     // D <- Kind-typed element of array A at index B
+	MAStore    // array A at index B <- D (D is a source here)
+	MArrayLen  // D <- length of array A
+	MGetField  // D <- field Kind of object A
+	MPutField  // field Kind of object A <- B
+	MGetStatic // D <- static slot Kind
+	MPutStatic // static slot Kind <- A
+)
+
+// microForOp maps a pure isa op to its micro-op code (valid only for
+// the stack-neutral arithmetic/conversion ops; stack-shape ops are
+// handled structurally by the compiler).
+var microForOp = map[isa.Op]uint8{
+	isa.OpAddI: MAddI, isa.OpSubI: MSubI, isa.OpMulI: MMulI,
+	isa.OpDivI: MDivI, isa.OpRemI: MRemI, isa.OpNegI: MNegI,
+	isa.OpAndI: MAndI, isa.OpOrI: MOrI, isa.OpXorI: MXorI,
+	isa.OpShlI: MShlI, isa.OpShrI: MShrI, isa.OpUShrI: MUShrI,
+	isa.OpAddL: MAddL, isa.OpSubL: MSubL, isa.OpMulL: MMulL,
+	isa.OpDivL: MDivL, isa.OpRemL: MRemL, isa.OpNegL: MNegL,
+	isa.OpAndL: MAndL, isa.OpOrL: MOrL, isa.OpXorL: MXorL,
+	isa.OpShlL: MShlL, isa.OpShrL: MShrL, isa.OpUShrL: MUShrL,
+	isa.OpCmpL: MCmpL,
+	isa.OpAddF: MAddF, isa.OpSubF: MSubF, isa.OpMulF: MMulF,
+	isa.OpDivF: MDivF, isa.OpNegF: MNegF, isa.OpRemF: MRemF,
+	isa.OpCmpF: MCmpF,
+	isa.OpAddD: MAddD, isa.OpSubD: MSubD, isa.OpMulD: MMulD,
+	isa.OpDivD: MDivD, isa.OpNegD: MNegD, isa.OpRemD: MRemD,
+	isa.OpCmpD: MCmpD,
+	isa.OpI2L:  MI2L, isa.OpI2F: MI2F, isa.OpI2D: MI2D,
+	isa.OpL2I: ML2I, isa.OpL2F: ML2F, isa.OpL2D: ML2D,
+	isa.OpF2I: MF2I, isa.OpF2L: MF2L, isa.OpF2D: MF2D,
+	isa.OpD2I: MD2I, isa.OpD2L: MD2L, isa.OpD2F: MD2F,
+	isa.OpI2B: MI2B, isa.OpI2C: MI2C, isa.OpI2S: MI2S,
+}
+
+// unaryOp reports whether the isa op pops one value and pushes one.
+func unaryOp(op isa.Op) bool {
+	switch op {
+	case isa.OpNegI, isa.OpNegL, isa.OpNegF, isa.OpNegD,
+		isa.OpI2L, isa.OpI2F, isa.OpI2D, isa.OpL2I, isa.OpL2F, isa.OpL2D,
+		isa.OpF2I, isa.OpF2L, isa.OpF2D, isa.OpD2I, isa.OpD2L, isa.OpD2F,
+		isa.OpI2B, isa.OpI2C, isa.OpI2S:
+		return true
+	}
+	return false
+}
+
+// Symbolic value kinds tracked on the compile-time stack.
+const (
+	symImm   uint8 = iota // a constant; value in sym.imm
+	symLocal              // the current runtime value of local sym.idx
+	symSlot               // a value materialised at stack slot sym.idx
+)
+
+type sym struct {
+	kind uint8
+	idx  int32 // local index (symLocal) or stack slot (symSlot)
+	imm  uint64
+	flag int32 // reference flag as a FlagWrite source
+}
+
+// microCompiler lowers one block. The central invariant is that a
+// symSlot's slot index never exceeds its current stack position (new
+// values materialise at their own position, Dup copies upward, and the
+// reorderings that would move a value below its slot — Swap, DupX —
+// bail out), so a result written at position d can never clobber a
+// slot a live lower value still references.
+//
+// A second invariant backs the shadow materialisations: a live symSlot
+// at position p with backing slot q < p only arises from Dup-copying
+// the entry at position q, which stays live (and identical) below it —
+// stack discipline pops the copy first — so slot q still holds the
+// value whenever the shadow mat replays.
+type microCompiler struct {
+	micro     []MicroOp
+	vstack    []sym
+	localFlag map[int32]int32 // locals written by the block -> flag source
+	maxDepth  int32
+	ok        bool
+
+	// Memory-absorption state: the per-boundary metadata, the pure
+	// segment after each boundary, shadow materialisations and flag
+	// snapshots for abort/trap exits, and the running accumulator for
+	// the current pure segment. noSink bars result-sinking across a
+	// memory micro-op (its result must land at its stack position: a
+	// quantum expiry right after it resumes before any StoreLocal).
+	bounds   []MemBound
+	segs     []Seg
+	mats     []MicroOp
+	blf, bsf []FlagWrite
+	segLen   int32
+	segCyc   uint64
+	segCls   [isa.NumClasses]uint64
+	firstLen int32
+	firstCyc uint64
+	firstCls [isa.NumClasses]uint64
+	noSink   int
+}
+
+// microBlock is compileMicro's result: the lowered replay program plus
+// the segment cost structure discovery copies onto the Superblock.
+type microBlock struct {
+	Micro    []MicroOp
+	LFlags   []FlagWrite
+	SFlags   []FlagWrite
+	MaxDepth int32
+
+	Bounds  []MemBound
+	Segs    []Seg
+	Mats    []MicroOp
+	BLFlags []FlagWrite
+	BSFlags []FlagWrite
+
+	// The first pure segment's instruction count and static cost
+	// vector (the whole block when Bounds is empty).
+	FirstLen    int32
+	FirstCycles uint64
+	FirstClass  [isa.NumClasses]uint64
+}
+
+func (c *microCompiler) fail() { c.ok = false }
+
+func (c *microCompiler) push(v sym) {
+	c.vstack = append(c.vstack, v)
+	if d := int32(len(c.vstack)); d > c.maxDepth {
+		c.maxDepth = d
+	}
+}
+
+// pop fails the compile when the block would consume operands it did
+// not push (suffix blocks entered mid-expression do this; they keep
+// the stack-walking replay).
+func (c *microCompiler) pop() sym {
+	if len(c.vstack) == 0 {
+		c.fail()
+		return sym{kind: symImm}
+	}
+	v := c.vstack[len(c.vstack)-1]
+	c.vstack = c.vstack[:len(c.vstack)-1]
+	return v
+}
+
+// flagOfLocal is the compile-time reference flag of local i: the
+// block's own last store to it, or its block-entry value.
+func (c *microCompiler) flagOfLocal(i int32) int32 {
+	if f, ok := c.localFlag[i]; ok {
+		return f
+	}
+	return i + 2
+}
+
+// matLocal materialises every live symbolic reference to local i into
+// its own stack slot; it must run before any micro-op writes local i,
+// because those symbols denote the local's pre-write value.
+func (c *microCompiler) matLocal(i int32) {
+	for p := range c.vstack {
+		v := &c.vstack[p]
+		if v.kind == symLocal && v.idx == i {
+			c.micro = append(c.micro, MicroOp{Code: MMov, D: int32(p), A: -(i + 1)})
+			*v = sym{kind: symSlot, idx: int32(p), flag: v.flag}
+		}
+	}
+}
+
+// operand renders a symbolic value as a micro-op operand. A symImm
+// needs the shared Imm field; the caller materialises one side first
+// when both operands are immediate (or folds the op entirely).
+func operand(v sym) (o int32, imm uint64) {
+	switch v.kind {
+	case symImm:
+		return MicroImm, v.imm
+	case symLocal:
+		return -(v.idx + 1), 0
+	default:
+		return v.idx, 0
+	}
+}
+
+// materialise forces a symbolic value into stack slot `at` and returns
+// the updated symbol.
+func (c *microCompiler) materialise(v sym, at int32) sym {
+	switch v.kind {
+	case symImm:
+		c.micro = append(c.micro, MicroOp{Code: MMovImm, D: at, Imm: v.imm})
+	case symLocal:
+		c.micro = append(c.micro, MicroOp{Code: MMov, D: at, A: -(v.idx + 1)})
+	default:
+		if v.idx != at {
+			c.micro = append(c.micro, MicroOp{Code: MMov, D: at, A: v.idx})
+		}
+	}
+	return sym{kind: symSlot, idx: at, flag: v.flag}
+}
+
+// foldInt32 evaluates two-operand int ops over constants, mirroring
+// the step cases exactly. Only non-trapping integer ops fold; floats
+// never fold so their bit-exact behaviour stays in one place (replay).
+func foldInt32(op isa.Op, a, b int32) (int32, bool) {
+	switch op {
+	case isa.OpAddI:
+		return a + b, true
+	case isa.OpSubI:
+		return a - b, true
+	case isa.OpMulI:
+		return a * b, true
+	case isa.OpAndI:
+		return a & b, true
+	case isa.OpOrI:
+		return a | b, true
+	case isa.OpXorI:
+		return a ^ b, true
+	case isa.OpShlI:
+		return a << (uint32(b) & 31), true
+	case isa.OpShrI:
+		return a >> (uint32(b) & 31), true
+	case isa.OpUShrI:
+		return int32(uint32(a) >> (uint32(b) & 31)), true
+	}
+	return 0, false
+}
+
+func foldInt64(op isa.Op, a, b int64) (int64, bool) {
+	switch op {
+	case isa.OpAddL:
+		return a + b, true
+	case isa.OpSubL:
+		return a - b, true
+	case isa.OpMulL:
+		return a * b, true
+	case isa.OpAndL:
+		return a & b, true
+	case isa.OpOrL:
+		return a | b, true
+	case isa.OpXorL:
+		return a ^ b, true
+	}
+	return 0, false
+}
+
+// binary lowers a two-operand arithmetic op. NaN-sensitive compares
+// pass their nan result through Imm, so immediate operands are
+// materialised for them.
+func (c *microCompiler) binary(in isa.Instr) {
+	code, okOp := microForOp[in.Op]
+	if !okOp {
+		c.fail()
+		return
+	}
+	b := c.pop()
+	a := c.pop()
+	if !c.ok {
+		return
+	}
+	if a.kind == symImm && b.kind == symImm {
+		if v, did := foldInt32(in.Op, int32(uint32(a.imm)), int32(uint32(b.imm))); did {
+			c.push(sym{kind: symImm, imm: uint64(uint32(v))})
+			return
+		}
+		if v, did := foldInt64(in.Op, int64(a.imm), int64(b.imm)); did {
+			c.push(sym{kind: symImm, imm: uint64(v)})
+			return
+		}
+	}
+	d := int32(len(c.vstack))
+	cmpNaN := in.Op == isa.OpCmpF || in.Op == isa.OpCmpD
+	if a.kind == symImm && (b.kind == symImm || cmpNaN) {
+		a = c.materialise(a, d)
+	}
+	if b.kind == symImm && cmpNaN {
+		b = c.materialise(b, d+1)
+	}
+	oa, immA := operand(a)
+	ob, immB := operand(b)
+	imm := immA | immB
+	if cmpNaN {
+		imm = uint64(uint32(in.A))
+	}
+	c.micro = append(c.micro, MicroOp{Code: code, D: d, A: oa, B: ob, Imm: imm})
+	c.push(sym{kind: symSlot, idx: d})
+}
+
+func (c *microCompiler) unary(in isa.Instr) {
+	code, okOp := microForOp[in.Op]
+	if !okOp {
+		c.fail()
+		return
+	}
+	a := c.pop()
+	if !c.ok {
+		return
+	}
+	if a.kind == symImm {
+		switch in.Op {
+		case isa.OpNegI:
+			c.push(sym{kind: symImm, imm: uint64(uint32(-int32(uint32(a.imm))))})
+			return
+		case isa.OpNegL:
+			c.push(sym{kind: symImm, imm: uint64(-int64(a.imm))})
+			return
+		case isa.OpI2B:
+			c.push(sym{kind: symImm, imm: uint64(uint32(int32(int8(int32(uint32(a.imm))))))})
+			return
+		case isa.OpI2C:
+			c.push(sym{kind: symImm, imm: uint64(uint32(int32(uint16(int32(uint32(a.imm))))))})
+			return
+		case isa.OpI2S:
+			c.push(sym{kind: symImm, imm: uint64(uint32(int32(int16(int32(uint32(a.imm))))))})
+			return
+		case isa.OpI2L:
+			c.push(sym{kind: symImm, imm: uint64(int64(int32(uint32(a.imm))))})
+			return
+		case isa.OpL2I:
+			c.push(sym{kind: symImm, imm: uint64(uint32(int32(int64(a.imm))))})
+			return
+		}
+	}
+	d := int32(len(c.vstack))
+	oa, imm := operand(a)
+	c.micro = append(c.micro, MicroOp{Code: code, D: d, A: oa, Imm: imm})
+	c.push(sym{kind: symSlot, idx: d})
+}
+
+// storeLocal lowers StoreLocal i, sinking the producing micro-op's
+// destination straight into the local when the popped value was
+// produced by the immediately preceding micro-op and nothing else
+// references its slot.
+func (c *microCompiler) storeLocal(i int32) {
+	v := c.pop()
+	if !c.ok {
+		return
+	}
+	mark := len(c.micro)
+	c.matLocal(i)
+	switch v.kind {
+	case symImm:
+		c.micro = append(c.micro, MicroOp{Code: MMovImm, D: -(i + 1), Imm: v.imm})
+	case symLocal:
+		if v.idx != i {
+			c.micro = append(c.micro, MicroOp{Code: MMov, D: -(i + 1), A: -(v.idx + 1)})
+		}
+	default:
+		sink := len(c.micro) == mark && mark > c.noSink && c.micro[mark-1].D == v.idx
+		if sink {
+			for p := range c.vstack {
+				if s := c.vstack[p]; s.kind == symSlot && s.idx == v.idx {
+					sink = false
+					break
+				}
+			}
+		}
+		if sink {
+			c.micro[mark-1].D = -(i + 1)
+		} else {
+			c.micro = append(c.micro, MicroOp{Code: MMov, D: -(i + 1), A: v.idx})
+		}
+	}
+	c.localFlag[i] = v.flag
+}
+
+// closeSeg ends the current pure segment at a memory boundary: the
+// first segment's accumulator becomes the block's up-front charge,
+// later ones append to Segs (charged right after the boundary that
+// precedes them).
+func (c *microCompiler) closeSeg() {
+	if len(c.bounds) == 0 {
+		c.firstLen, c.firstCyc, c.firstCls = c.segLen, c.segCyc, c.segCls
+	} else {
+		c.segs = append(c.segs, Seg{Cycles: c.segCyc, ClassCycles: c.segCls, Len: c.segLen})
+	}
+	c.segLen, c.segCyc, c.segCls = 0, 0, [isa.NumClasses]uint64{}
+}
+
+// memBoundary lowers one absorbable memory instruction at block-
+// relative index rel. It closes the current pure segment, records the
+// shadow materialisations and flag snapshots an abort or trap needs to
+// rebuild exact stepped state, and emits the memory micro-op with
+// symbolic operands (the happy path never round-trips them through
+// their stack slots).
+func (c *microCompiler) memBoundary(rel int32, in isa.Instr) {
+	var npops, npush int
+	var mcode uint8
+	switch in.Op {
+	case isa.OpALoad:
+		npops, npush, mcode = 2, 1, MALoad
+	case isa.OpAStore:
+		npops, npush, mcode = 3, 0, MAStore
+	case isa.OpArrayLen:
+		npops, npush, mcode = 1, 1, MArrayLen
+	case isa.OpGetField:
+		npops, npush, mcode = 1, 1, MGetField
+	case isa.OpPutField:
+		npops, npush, mcode = 2, 0, MPutField
+	case isa.OpGetStatic:
+		npops, npush, mcode = 0, 1, MGetStatic
+	case isa.OpPutStatic:
+		npops, npush, mcode = 1, 0, MPutStatic
+	}
+	if len(c.vstack) < npops {
+		c.fail() // operands from before the block entry: suffix bails
+		return
+	}
+	opStart := len(c.vstack) - npops
+	// One shared Imm field per micro-op: materialise all but one
+	// immediate operand.
+	imms := 0
+	for i := opStart; i < len(c.vstack); i++ {
+		if c.vstack[i].kind == symImm {
+			imms++
+		}
+	}
+	for i := opStart; i < len(c.vstack) && imms > 1; i++ {
+		if c.vstack[i].kind == symImm {
+			c.vstack[i] = c.materialise(c.vstack[i], int32(i))
+			imms--
+		}
+	}
+	// Shadow materialisations: every live entry not already at its
+	// stack position, split below-operands / operands so a resume at
+	// the next instruction does not clobber the result's slot.
+	matLo, matOpLo := int32(len(c.mats)), int32(len(c.mats))
+	for i, v := range c.vstack {
+		if i == opStart {
+			matOpLo = int32(len(c.mats))
+		}
+		if v.kind == symSlot && v.idx == int32(i) {
+			continue
+		}
+		switch v.kind {
+		case symImm:
+			c.mats = append(c.mats, MicroOp{Code: MMovImm, D: int32(i), Imm: v.imm})
+		case symLocal:
+			c.mats = append(c.mats, MicroOp{Code: MMov, D: int32(i), A: -(v.idx + 1)})
+		default:
+			c.mats = append(c.mats, MicroOp{Code: MMov, D: int32(i), A: v.idx})
+		}
+	}
+	if opStart == len(c.vstack) {
+		matOpLo = int32(len(c.mats))
+	}
+	matHi := int32(len(c.mats))
+	// Flag snapshots: stack positions below the instruction's SP and
+	// the locals written so far. Sources resolve against entry-state
+	// LocalRefs at apply time, which still holds at any boundary —
+	// local flag writes are deferred to the block's final epilogue.
+	sfLo := int32(len(c.bsf))
+	for i, v := range c.vstack {
+		c.bsf = append(c.bsf, FlagWrite{Idx: int32(i), Src: v.flag})
+	}
+	sfHi := int32(len(c.bsf))
+	lfLo := int32(len(c.blf))
+	locals := make([]int32, 0, len(c.localFlag))
+	for i := range c.localFlag {
+		locals = append(locals, i)
+	}
+	sort.Slice(locals, func(a, b int) bool { return locals[a] < locals[b] })
+	for _, i := range locals {
+		c.blf = append(c.blf, FlagWrite{Idx: i, Src: c.localFlag[i]})
+	}
+	lfHi := int32(len(c.blf))
+	if sfHi-sfLo > maxFlagWrites || lfHi-lfLo > maxFlagWrites {
+		c.fail()
+		return
+	}
+
+	var ops [3]sym
+	for i := npops - 1; i >= 0; i-- {
+		ops[i] = c.pop()
+	}
+	m := MicroOp{Code: mcode, D: int32(opStart)}
+	enc := func(v sym) int32 {
+		o, im := operand(v)
+		if o == MicroImm {
+			m.Imm = im
+		}
+		return o
+	}
+	switch in.Op {
+	case isa.OpALoad, isa.OpAStore:
+		m.A, m.B = enc(ops[0]), enc(ops[1])
+		if in.Op == isa.OpAStore {
+			m.D = enc(ops[2])
+		}
+	case isa.OpArrayLen, isa.OpGetField:
+		m.A = enc(ops[0])
+	case isa.OpPutField:
+		m.A, m.B = enc(ops[0]), enc(ops[1])
+	case isa.OpPutStatic:
+		m.A = enc(ops[0])
+	}
+	c.micro = append(c.micro, m)
+	c.noSink = len(c.micro)
+	if npush == 1 {
+		flag := int32(0)
+		switch in.Op {
+		case isa.OpALoad:
+			if isa.ElemKind(in.A) == isa.ElemRef {
+				flag = 1
+			}
+		case isa.OpGetField, isa.OpGetStatic:
+			if in.B&isa.FlagRef != 0 {
+				flag = 1
+			}
+		}
+		c.push(sym{kind: symSlot, idx: int32(opStart), flag: flag})
+	}
+
+	c.closeSeg()
+	c.bounds = append(c.bounds, MemBound{
+		RelIdx: rel, Cost: uint32(in.Cost), Class: in.Op.Class(),
+		Kind: in.A, Flags: in.B,
+		SPAtOp: int32(opStart + npops), SPTrap: int32(opStart), SPAfter: int32(opStart + npush),
+		MatLo: matLo, MatOpLo: matOpLo, MatHi: matHi,
+		LfLo: lfLo, LfHi: lfHi, SfLo: sfLo, SfHi: sfHi,
+	})
+}
+
+// compileMicro lowers a block's instructions. term is the block's
+// control terminal when it has one (goto or conditional branch): it
+// contributes cost and an instruction to the final segment but emits
+// no micro-op — the executor applies its effect from Target. It
+// returns ok=false when the block contains a pattern the lowering does
+// not model; a memory-free block then replays with runPure.
+func compileMicro(code []isa.Instr, term *isa.Instr) (mb microBlock, ok bool) {
+	c := microCompiler{localFlag: make(map[int32]int32), ok: true}
+	for idx, in := range code {
+		if memOp(in.Op) {
+			c.memBoundary(int32(idx), in)
+			if !c.ok {
+				return microBlock{}, false
+			}
+			continue
+		}
+		c.segLen++
+		c.segCyc += uint64(in.Cost)
+		c.segCls[in.Op.Class()] += uint64(in.Cost)
+		switch in.Op {
+		case isa.OpNop, isa.OpGoto:
+
+		case isa.OpPushConst:
+			flag := int32(0)
+			if in.C == 1 {
+				flag = 1
+			}
+			c.push(sym{kind: symImm,
+				imm:  uint64(uint32(in.A)) | uint64(uint32(in.B))<<32,
+				flag: flag})
+		case isa.OpLoadLocal:
+			c.push(sym{kind: symLocal, idx: in.A, flag: c.flagOfLocal(in.A)})
+		case isa.OpStoreLocal:
+			c.storeLocal(in.A)
+		case isa.OpIncLocal:
+			c.matLocal(in.A)
+			c.micro = append(c.micro, MicroOp{
+				Code: MAddI, D: -(in.A + 1), A: -(in.A + 1),
+				B: MicroImm, Imm: uint64(uint32(in.B)),
+			})
+			// IncLocal leaves the local's reference flag untouched
+			// (mirroring step), so localFlag is deliberately not updated.
+		case isa.OpPop:
+			c.pop()
+		case isa.OpPop2:
+			c.pop()
+			c.pop()
+		case isa.OpDup:
+			if len(c.vstack) == 0 {
+				c.fail()
+				break
+			}
+			c.push(c.vstack[len(c.vstack)-1])
+		case isa.OpDup2:
+			if len(c.vstack) < 2 {
+				c.fail()
+				break
+			}
+			b := c.vstack[len(c.vstack)-1]
+			a := c.vstack[len(c.vstack)-2]
+			c.push(a)
+			c.push(b)
+		case isa.OpSwap, isa.OpDupX1, isa.OpDupX2:
+			// These move a value below its materialised slot, breaking
+			// the slot<=position invariant; they are rare in compiled
+			// code, so bail rather than model a parallel copy.
+			c.fail()
+
+		default:
+			if unaryOp(in.Op) {
+				c.unary(in)
+			} else if _, isBin := microForOp[in.Op]; isBin {
+				c.binary(in)
+			} else {
+				c.fail() // not a pure op: discovery should never admit it
+			}
+		}
+		if !c.ok {
+			return microBlock{}, false
+		}
+	}
+
+	// The control terminal belongs to the final segment: its static
+	// cost and instruction count charge with the block's tail even
+	// though its effect is applied from Target.
+	if term != nil {
+		c.segLen++
+		c.segCyc += uint64(term.Cost)
+		c.segCls[term.Op.Class()] += uint64(term.Cost)
+	}
+	if len(c.bounds) == 0 {
+		c.firstLen, c.firstCyc, c.firstCls = c.segLen, c.segCyc, c.segCls
+	} else {
+		c.segs = append(c.segs, Seg{Cycles: c.segCyc, ClassCycles: c.segCls, Len: c.segLen})
+	}
+
+	// Epilogue: materialise surviving symbolic stack values into their
+	// positions (processing upward — a non-identity copy only ever reads
+	// a slot whose position holds it identically, per the compiler
+	// invariant) and collect the deferred reference-flag writes.
+	var lflags, sflags []FlagWrite
+	for p := range c.vstack {
+		v := c.vstack[p]
+		if v.kind != symSlot || v.idx != int32(p) {
+			c.vstack[p] = c.materialise(v, int32(p))
+		}
+		sflags = append(sflags, FlagWrite{Idx: int32(p), Src: v.flag})
+	}
+	locals := make([]int32, 0, len(c.localFlag))
+	for i := range c.localFlag {
+		locals = append(locals, i)
+	}
+	sort.Slice(locals, func(a, b int) bool { return locals[a] < locals[b] })
+	for _, i := range locals {
+		lflags = append(lflags, FlagWrite{Idx: i, Src: c.localFlag[i]})
+	}
+	if len(lflags) > maxFlagWrites || len(sflags) > maxFlagWrites {
+		return microBlock{}, false
+	}
+	return microBlock{
+		Micro: c.micro, LFlags: lflags, SFlags: sflags, MaxDepth: c.maxDepth,
+		Bounds: c.bounds, Segs: c.segs, Mats: c.mats,
+		BLFlags: c.blf, BSFlags: c.bsf,
+		FirstLen: c.firstLen, FirstCycles: c.firstCyc, FirstClass: c.firstCls,
+	}, true
+}

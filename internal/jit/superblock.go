@@ -1,0 +1,382 @@
+package jit
+
+import (
+	"herajvm/internal/isa"
+)
+
+// Superblock memoizes the static execution effects of a maximal pure
+// straight-line run of compiled code beginning at one instruction
+// index. The VM's executor uses it to fast-forward a whole run in one
+// step — one clock advance, one per-class cycle update, one retired-
+// instruction bump — instead of dispatching instruction by instruction,
+// with semantics byte-identical to per-instruction stepping.
+//
+// A block ends at (exclusive) the first instruction that can call,
+// return, touch the heap or caches, allocate, synchronise, throw, or
+// trap; a control transfer may terminate a block inclusively — an
+// unconditional goto (static target, fixed cost) or one conditional
+// branch, whose outcome the executor evaluates from the block's own
+// final stack and whose branch-model bookkeeping (predictor update,
+// penalty) it mirrors exactly. Division by a preceding nonzero constant
+// is admitted (it cannot trap), but such an instruction can never
+// *start* a block: a branch could land on it with a computed divisor on
+// the stack, losing the guarantee.
+type Superblock struct {
+	// Len is the number of instructions the block covers. 0 means no
+	// block starts at this index (the instruction is impure, or is a
+	// guarded divide whose no-trap proof needs its predecessor).
+	Len int32
+	// Target is the Code index execution continues at after the block:
+	// the trailing goto's destination, or entry+Len for fallthrough.
+	// When End is a conditional kind, Target is the taken destination
+	// and the not-taken path falls through to entry+Len.
+	Target int32
+	// End classifies the block's terminal control transfer: EndFall for
+	// fallthrough or a trailing goto (Target is static either way), or
+	// the conditional-branch kind whose outcome the replay must decide.
+	End uint8
+	// Cond is a conditional terminal's condition code (the branch
+	// instruction's A operand).
+	Cond int32
+	// Cycles is the summed static cost of the block's instructions;
+	// ClassCycles buckets the same total by operation class.
+	Cycles      uint64
+	ClassCycles [isa.NumClasses]uint64
+	// StackDelta is the block's net operand-stack growth in slots.
+	StackDelta int32
+	// ResMask has bit r set when the block is valid under data-cache
+	// residency class r. Pure blocks touch no cache, so discovery sets
+	// ResMaskAll; the mask is the hook for future residency-dependent
+	// blocks (e.g. memoized hit-cost memory runs).
+	ResMask uint8
+
+	// FirstLen is the instruction count of the block's first pure
+	// segment — the whole block when it absorbs no memory instructions.
+	// Cycles/ClassCycles likewise cover only that first segment; the
+	// executor charges it up front, and each absorbed memory instruction
+	// then charges itself (plus its dynamic cache cost) and the segment
+	// that follows it (Segs) as the replay crosses it.
+	FirstLen int32
+
+	// MicroOK reports that the block lowered to slot-addressed
+	// micro-ops (Micro/LFlags/SFlags/MaxDepth); the executor replays
+	// those instead of walking the stack ops. When false the executor
+	// uses the stack-walking replay — same semantics, slower host path.
+	// A block that absorbs memory instructions always has MicroOK set
+	// (the stack-walking replay handles only pure code); when the
+	// extended lowering bails, discovery falls back to the memory-free
+	// prefix as the block.
+	MicroOK  bool
+	Micro    []MicroOp
+	LFlags   []FlagWrite
+	SFlags   []FlagWrite
+	MaxDepth int32
+
+	// Bounds/Segs/Mats/BLFlags/BSFlags describe the block's absorbed
+	// memory instructions: per-boundary metadata, the pure segment after
+	// each boundary, and the shadow materialisations plus flag snapshots
+	// that rebuild exact stepped frame state when the replay must hand
+	// back to the dispatcher mid-block (quantum expiry or a trap).
+	Bounds  []MemBound
+	Segs    []Seg
+	Mats    []MicroOp
+	BLFlags []FlagWrite
+	BSFlags []FlagWrite
+}
+
+// Seg is the pure segment following one absorbed memory instruction:
+// its static cost vector and instruction count, charged in one step
+// right after the memory instruction commits.
+type Seg struct {
+	Cycles      uint64
+	ClassCycles [isa.NumClasses]uint64
+	Len         int32
+}
+
+// MemBound is the executor-facing metadata for one absorbed memory
+// instruction. The replay charges the instruction's static cost from
+// here, reads its operand descriptors from the paired micro-op, and on
+// any early exit (deadline, trap) uses the recorded materialisation
+// and flag-snapshot ranges to restore the exact frame state
+// per-instruction stepping would show at that point.
+type MemBound struct {
+	// RelIdx is the instruction's Code index relative to the block
+	// entry; Cost/Class its static charge.
+	RelIdx int32
+	Cost   uint32
+	Class  isa.OpClass
+	// Kind/Flags carry the instruction's A/B operands (element kind or
+	// field slot, and the volatile/ref flag bits).
+	Kind  int32
+	Flags int32
+	// Stack depths relative to the block's entry SP: at the instruction
+	// (operands pushed), after a trap's pops, and after the instruction
+	// completes.
+	SPAtOp, SPTrap, SPAfter int32
+	// Mats ranges: [MatLo, MatOpLo) materialises the live values below
+	// the operands (enough for a resume at the *next* instruction);
+	// [MatOpLo, MatHi) adds the operands themselves (a resume at this
+	// instruction). Lf/Sf ranges are the matching local/stack
+	// reference-flag snapshots in BLFlags/BSFlags.
+	MatLo, MatOpLo, MatHi  int32
+	LfLo, LfHi, SfLo, SfHi int32
+}
+
+// End kinds. EndFall covers plain fallthrough and the trailing
+// unconditional goto; the conditional kinds match the four
+// conditional-branch opcodes. A block never *contains* a branch — a
+// conditional terminal is always its last instruction, counted in Len,
+// Cycles and StackDelta (the branch pops its operands).
+const (
+	EndFall uint8 = iota
+	EndIf
+	EndIfCmpI
+	EndIfCmpRef
+	EndIfNull
+)
+
+// ResMaskAll marks a block valid under every cache-residency class
+// (must cover cache.NumResidencyClasses bits; an equality test in the
+// vm package pins the two constants together).
+const ResMaskAll uint8 = (1 << 3) - 1
+
+// pureOp reports whether op can always join a superblock: it cannot
+// trap, branch, call, return, or touch heap, caches, monitors, the
+// allocator or the branch predictor. Operand-stack and local-variable
+// traffic, non-trapping ALU work and conversions qualify; integer
+// divide/remainder do not (division by zero traps) unless guarded by a
+// constant divisor, which guardedDiv admits separately.
+func pureOp(op isa.Op) bool {
+	switch op {
+	case isa.OpNop, isa.OpPushConst, isa.OpLoadLocal, isa.OpStoreLocal,
+		isa.OpPop, isa.OpPop2, isa.OpDup, isa.OpDupX1, isa.OpDupX2,
+		isa.OpDup2, isa.OpSwap, isa.OpIncLocal,
+		isa.OpAddI, isa.OpSubI, isa.OpMulI, isa.OpNegI, isa.OpAndI,
+		isa.OpOrI, isa.OpXorI, isa.OpShlI, isa.OpShrI, isa.OpUShrI,
+		isa.OpAddL, isa.OpSubL, isa.OpMulL, isa.OpNegL, isa.OpAndL,
+		isa.OpOrL, isa.OpXorL, isa.OpShlL, isa.OpShrL, isa.OpUShrL,
+		isa.OpCmpL,
+		isa.OpAddF, isa.OpSubF, isa.OpMulF, isa.OpDivF, isa.OpNegF,
+		isa.OpRemF, isa.OpCmpF,
+		isa.OpAddD, isa.OpSubD, isa.OpMulD, isa.OpDivD, isa.OpNegD,
+		isa.OpRemD, isa.OpCmpD,
+		isa.OpI2L, isa.OpI2F, isa.OpI2D, isa.OpL2I, isa.OpL2F, isa.OpL2D,
+		isa.OpF2I, isa.OpF2L, isa.OpF2D, isa.OpD2I, isa.OpD2L, isa.OpD2F,
+		isa.OpI2B, isa.OpI2C, isa.OpI2S:
+		return true
+	}
+	return false
+}
+
+// guardedDivOp reports whether op is an integer divide/remainder (the
+// only pure-class ALU ops that can trap).
+func guardedDivOp(op isa.Op) bool {
+	switch op {
+	case isa.OpDivI, isa.OpRemI, isa.OpDivL, isa.OpRemL:
+		return true
+	}
+	return false
+}
+
+// guardedDiv reports whether the divide/remainder at index i provably
+// cannot trap: its divisor is the immediately preceding pushconst and
+// is nonzero. (The executor's guarded fast path still mirrors the
+// MinInt/-1 special cases exactly.)
+func guardedDiv(code []isa.Instr, i int) bool {
+	if i == 0 || code[i-1].Op != isa.OpPushConst {
+		return false
+	}
+	prev := code[i-1]
+	switch code[i].Op {
+	case isa.OpDivI, isa.OpRemI:
+		return prev.A != 0
+	case isa.OpDivL, isa.OpRemL:
+		return uint64(uint32(prev.A))|uint64(uint32(prev.B))<<32 != 0
+	}
+	return false
+}
+
+// memOp reports whether op is an absorbable memory instruction: array
+// and field traffic whose dynamic cache cost the replay charges as it
+// crosses it. Allocation, calls, monitors and the like stay block
+// boundaries.
+func memOp(op isa.Op) bool {
+	switch op {
+	case isa.OpALoad, isa.OpAStore, isa.OpArrayLen,
+		isa.OpGetField, isa.OpPutField, isa.OpGetStatic, isa.OpPutStatic:
+		return true
+	}
+	return false
+}
+
+// stackDeltaOf is the net operand-stack effect in slots of each op a
+// superblock can contain: the pure set, the absorbable memory
+// instructions, and the terminal conditional branches, which pop their
+// comparison operands.
+func stackDeltaOf(op isa.Op) int32 {
+	switch op {
+	case isa.OpIf, isa.OpIfNull, isa.OpALoad, isa.OpPutStatic:
+		return -1
+	case isa.OpIfCmpI, isa.OpIfCmpRef, isa.OpPutField:
+		return -2
+	case isa.OpAStore:
+		return -3
+	case isa.OpPushConst, isa.OpLoadLocal, isa.OpDup, isa.OpDupX1, isa.OpDupX2,
+		isa.OpGetStatic:
+		return 1
+	case isa.OpDup2:
+		return 2
+	case isa.OpStoreLocal, isa.OpPop,
+		isa.OpAddI, isa.OpSubI, isa.OpMulI, isa.OpDivI, isa.OpRemI,
+		isa.OpAndI, isa.OpOrI, isa.OpXorI, isa.OpShlI, isa.OpShrI, isa.OpUShrI,
+		isa.OpAddL, isa.OpSubL, isa.OpMulL, isa.OpDivL, isa.OpRemL,
+		isa.OpAndL, isa.OpOrL, isa.OpXorL, isa.OpShlL, isa.OpShrL, isa.OpUShrL,
+		isa.OpCmpL,
+		isa.OpAddF, isa.OpSubF, isa.OpMulF, isa.OpDivF, isa.OpRemF, isa.OpCmpF,
+		isa.OpAddD, isa.OpSubD, isa.OpMulD, isa.OpDivD, isa.OpRemD, isa.OpCmpD:
+		return -1
+	case isa.OpPop2:
+		return -2
+	}
+	return 0
+}
+
+// discoverSuperblocks computes, for every instruction index, the
+// maximal superblock starting there (Len 0 when none does). It runs
+// after branch-target fixups so trailing gotos carry resolved targets.
+//
+// Within each maximal run [s, e) of pure and absorbable-memory
+// instructions — optionally extended through one terminating goto or
+// conditional branch — every index gets the suffix block reaching the
+// run's end, so a thread whose quantum expired mid-run resumes with a
+// (shorter) block at its exact PC. When the extended micro lowering of
+// a suffix bails (typically a memory instruction consuming operands
+// the suffix did not push), the suffix falls back to its memory-free
+// prefix, which the stack-walking replay can always handle.
+func discoverSuperblocks(code []isa.Instr) []Superblock {
+	sb := make([]Superblock, len(code))
+	for s := 0; s < len(code); {
+		// Find the maximal run of in-context-admissible instructions.
+		e := s
+		for e < len(code) && (pureOp(code[e].Op) || memOp(code[e].Op) ||
+			(e > s && guardedDiv(code, e))) {
+			e++
+		}
+		if e == s {
+			s++
+			continue
+		}
+		// A trailing control transfer joins the run: an unconditional
+		// goto (static target, fixed cost) or one conditional branch,
+		// whose outcome the executor decides from the replayed stack.
+		gotoEnd := false
+		end := EndFall
+		if e < len(code) {
+			switch code[e].Op {
+			case isa.OpGoto:
+				gotoEnd = true
+				e++
+			case isa.OpIf:
+				end = EndIf
+				e++
+			case isa.OpIfCmpI:
+				end = EndIfCmpI
+				e++
+			case isa.OpIfCmpRef:
+				end = EndIfCmpRef
+				e++
+			case isa.OpIfNull:
+				end = EndIfNull
+				e++
+			}
+		}
+		// The replayable (micro-compilable) prefix excludes the terminal:
+		// a goto has no data effect, and a conditional branch reads the
+		// operands the replay leaves just above the block's final SP. The
+		// terminal's cost and instruction count still belong to the
+		// block's final segment, so the compiler receives it separately.
+		pe := e
+		var term *isa.Instr
+		if gotoEnd || end != EndFall {
+			pe = e - 1
+			term = &code[e-1]
+		}
+		setTerminal := func(b *Superblock, q int) {
+			// q is the block's exclusive end within [s, pe]; the terminal
+			// applies only when the block reaches the full prefix.
+			if q == pe && term != nil {
+				b.Len++
+				b.StackDelta += stackDeltaOf(term.Op)
+				b.End = end
+				if gotoEnd {
+					b.Target = term.A
+				} else {
+					b.Target = term.B
+					b.Cond = term.A
+				}
+			} else {
+				b.Target = int32(q)
+			}
+		}
+		for p := e - 1; p >= s; p-- {
+			in := code[p]
+			if guardedDivOp(in.Op) || memOp(in.Op) {
+				// A branch may land on a guarded div with an unproven
+				// divisor on the stack, and a memory instruction's operands
+				// come from before the entry; blocks run through both, but
+				// neither starts one.
+				continue
+			}
+			var b Superblock
+			b.ResMask = ResMaskAll
+			mb, ok := compileMicro(code[p:pe], term)
+			if ok {
+				for q := p; q < pe; q++ {
+					b.Len++
+					b.StackDelta += stackDeltaOf(code[q].Op)
+				}
+				setTerminal(&b, pe)
+				b.Cycles, b.ClassCycles, b.FirstLen = mb.FirstCycles, mb.FirstClass, mb.FirstLen
+				b.MicroOK = true
+				b.Micro, b.LFlags, b.SFlags, b.MaxDepth = mb.Micro, mb.LFlags, mb.SFlags, mb.MaxDepth
+				b.Bounds, b.Segs, b.Mats = mb.Bounds, mb.Segs, mb.Mats
+				b.BLFlags, b.BSFlags = mb.BLFlags, mb.BSFlags
+				sb[p] = b
+				continue
+			}
+			// Fallback: the longest memory-free prefix from p. Its whole
+			// cost is static, so it charges in one step and the
+			// stack-walking replay covers a second lowering bail.
+			q := p
+			for q < pe && !memOp(code[q].Op) {
+				q++
+			}
+			if q == p {
+				continue
+			}
+			for r := p; r < q; r++ {
+				b.Len++
+				b.Cycles += uint64(code[r].Cost)
+				b.ClassCycles[code[r].Op.Class()] += uint64(code[r].Cost)
+				b.StackDelta += stackDeltaOf(code[r].Op)
+			}
+			setTerminal(&b, q)
+			if q == pe && term != nil {
+				b.Cycles += uint64(term.Cost)
+				b.ClassCycles[term.Op.Class()] += uint64(term.Cost)
+			}
+			b.FirstLen = b.Len
+			var fterm *isa.Instr
+			if q == pe {
+				fterm = term
+			}
+			if fmb, fok := compileMicro(code[p:q], fterm); fok {
+				b.MicroOK = true
+				b.Micro, b.LFlags, b.SFlags, b.MaxDepth = fmb.Micro, fmb.LFlags, fmb.SFlags, fmb.MaxDepth
+			}
+			sb[p] = b
+		}
+		s = e
+	}
+	return sb
+}

@@ -1,0 +1,326 @@
+package jit
+
+import (
+	"testing"
+
+	"herajvm/internal/classfile"
+	"herajvm/internal/isa"
+)
+
+// sbMethod compiles a method on the SPE backend and returns its code
+// and superblocks.
+func sbMethod(t *testing.T, build func(a *classfile.Asm)) *CompiledMethod {
+	t.Helper()
+	_, spe, _ := newCompilers(t)
+	p := classfile.NewProgram()
+	c := p.NewClass("SB", nil)
+	m := c.NewMethod("run", classfile.FlagStatic, classfile.Int)
+	a := m.Asm()
+	build(a)
+	a.MustBuild()
+	if err := p.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	cm, err := spe.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm
+}
+
+// TestSuperblockSuffixRuns checks that a pure straight-line prefix gets
+// a suffix block at every index, with cost vectors that sum the
+// instructions' static costs and a stack delta matching the net effect.
+func TestSuperblockSuffixRuns(t *testing.T) {
+	cm := sbMethod(t, func(a *classfile.Asm) {
+		a.ConstI(3) // pure
+		a.ConstI(4) // pure
+		a.AddI()    // pure
+		a.Ret()     // ends the run
+	})
+	if len(cm.SB) != len(cm.Code) {
+		t.Fatalf("SB length %d != code length %d", len(cm.SB), len(cm.Code))
+	}
+	// Find the run end: the OpReturn.
+	end := -1
+	for i, in := range cm.Code {
+		if in.Op == isa.OpReturn {
+			end = i
+			break
+		}
+	}
+	if end < 1 {
+		t.Fatalf("no return in %v", cm.Code)
+	}
+	for p := 0; p < end; p++ {
+		b := cm.SB[p]
+		if int(b.Len) != end-p {
+			t.Fatalf("pc %d: Len=%d want %d", p, b.Len, end-p)
+		}
+		if int(b.Target) != end {
+			t.Fatalf("pc %d: Target=%d want %d", p, b.Target, end)
+		}
+		var cycles uint64
+		var classes [isa.NumClasses]uint64
+		var delta int32
+		for q := p; q < end; q++ {
+			cycles += uint64(cm.Code[q].Cost)
+			classes[cm.Code[q].Op.Class()] += uint64(cm.Code[q].Cost)
+			delta += stackDeltaOf(cm.Code[q].Op)
+		}
+		if b.Cycles != cycles || b.ClassCycles != classes {
+			t.Fatalf("pc %d: cost vector mismatch: %+v", p, b)
+		}
+		if b.StackDelta != delta {
+			t.Fatalf("pc %d: StackDelta=%d want %d", p, b.StackDelta, delta)
+		}
+		if b.ResMask != ResMaskAll {
+			t.Fatalf("pc %d: ResMask=%#x want %#x", p, b.ResMask, ResMaskAll)
+		}
+	}
+	if cm.SB[end].Len != 0 {
+		t.Errorf("return must not start a block")
+	}
+}
+
+// TestSuperblockBoundaries checks that calls, returns and allocations
+// end blocks and never start or join one, that memory ops never start
+// a block (they may be absorbed mid-block), and that a conditional
+// branch appears only as a block's terminal instruction.
+func TestSuperblockBoundaries(t *testing.T) {
+	cm := sbMethod(t, func(a *classfile.Asm) {
+		done := a.NewLabel()
+		a.ConstI(1)
+		a.ConstI(2)
+		a.IfICmpGE(done) // joins as a conditional terminal only
+		a.ConstI(5)
+		a.NewArray(classfile.ElemInt) // impure: allocation
+		a.ArrayLen()                  // impure: memory
+		a.Ret()
+		a.Bind(done)
+		a.ConstI(0)
+		a.Ret()
+	})
+	condBranch := func(op isa.Op) bool {
+		switch op {
+		case isa.OpIf, isa.OpIfCmpI, isa.OpIfCmpRef, isa.OpIfNull:
+			return true
+		}
+		return false
+	}
+	for i, in := range cm.Code {
+		switch in.Op {
+		case isa.OpNewArray, isa.OpArrayLen, isa.OpReturn:
+			if cm.SB[i].Len != 0 {
+				t.Errorf("%v at %d starts a block (Len=%d)", in.Op, i, cm.SB[i].Len)
+			}
+		}
+		if b := cm.SB[i]; b.Len > 0 {
+			for q := i; q < i+int(b.Len); q++ {
+				op := cm.Code[q].Op
+				last := q == i+int(b.Len)-1
+				if condBranch(op) && (!last || b.End == EndFall) {
+					t.Errorf("block at %d holds branch %v at %d as a non-terminal", i, op, q)
+				} else if !pureOp(op) && op != isa.OpGoto && !condBranch(op) &&
+					!guardedDivOp(op) && !memOp(op) {
+					t.Errorf("block at %d covers impure %v at %d", i, op, q)
+				}
+			}
+		}
+	}
+}
+
+// TestSuperblockMemoryAbsorption checks a memory op is absorbed
+// mid-block — never starting one — and that the block's segmented cost
+// shape is consistent: the first-segment vector covers exactly the
+// instructions before the first boundary, each MemBound carries the
+// memory op's own static cost, and FirstLen + segment lengths +
+// boundary count add back up to Len.
+func TestSuperblockMemoryAbsorption(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.OpLoadLocal, A: 0, Cost: 1},              // arr
+		{Op: isa.OpPushConst, A: 3, Cost: 1},              // idx
+		{Op: isa.OpALoad, A: int32(isa.ElemInt), Cost: 6}, // absorbed boundary
+		{Op: isa.OpPushConst, A: 1, Cost: 1},              //
+		{Op: isa.OpAddI, Cost: 1},                         // second pure segment
+		{Op: isa.OpReturn, A: 1, Cost: 2},                 // ends the run
+	}
+	sb := discoverSuperblocks(code)
+	if sb[2].Len != 0 {
+		t.Errorf("memory op must not start a block: %+v", sb[2])
+	}
+	b := sb[0]
+	if int(b.Len) != 5 {
+		t.Fatalf("block at 0 must absorb the load and run to the return: %+v", b)
+	}
+	if !b.MicroOK {
+		t.Fatalf("absorbed block must lower to micro-ops: %+v", b)
+	}
+	if len(b.Bounds) != 1 || len(b.Segs) != 1 {
+		t.Fatalf("want 1 boundary and 1 trailing segment, got %d/%d", len(b.Bounds), len(b.Segs))
+	}
+	if b.FirstLen != 2 || b.Cycles != 2 {
+		t.Errorf("first segment must cover the two loads: FirstLen=%d Cycles=%d", b.FirstLen, b.Cycles)
+	}
+	bd := b.Bounds[0]
+	if bd.RelIdx != 2 || bd.Cost != 6 {
+		t.Errorf("boundary must sit at the load with its static cost: %+v", bd)
+	}
+	if got := b.FirstLen + b.Segs[0].Len + int32(len(b.Bounds)); got != b.Len {
+		t.Errorf("segmented lengths sum to %d, want Len %d", got, b.Len)
+	}
+	if b.Segs[0].Cycles != 2 {
+		t.Errorf("trailing segment must cost the const+add: %+v", b.Segs[0])
+	}
+	// SP bookkeeping around the boundary: two operands on the stack at
+	// the op, popped to the trap depth, one result after.
+	if bd.SPAtOp != 2 || bd.SPTrap != 0 || bd.SPAfter != 1 {
+		t.Errorf("boundary SP shape: %+v", bd)
+	}
+}
+
+// TestSuperblockConditionalTermination checks a conditional branch
+// joins its preceding pure run as the terminal instruction: Len and
+// StackDelta count it, Target holds the taken destination, Cond the
+// condition code, and the branch alone also forms a Len-1 block.
+func TestSuperblockConditionalTermination(t *testing.T) {
+	cm := sbMethod(t, func(a *classfile.Asm) {
+		done := a.NewLabel()
+		a.ConstI(0)
+		a.StoreI(0)
+		a.LoadI(0)
+		a.ConstI(10)
+		a.IfICmpGE(done)
+		a.Inc(0, 1)
+		a.Bind(done)
+		a.LoadI(0)
+		a.Ret()
+	})
+	brIdx := -1
+	for i, in := range cm.Code {
+		if in.Op == isa.OpIfCmpI {
+			brIdx = i
+		}
+	}
+	if brIdx < 0 {
+		t.Fatal("no conditional branch emitted")
+	}
+	b := cm.SB[brIdx-2] // the LoadI beginning the run
+	if int(b.Len) != 3 || b.End != EndIfCmpI {
+		t.Fatalf("block %+v: want Len 3 ending in EndIfCmpI", b)
+	}
+	if b.Target != cm.Code[brIdx].B || b.Cond != cm.Code[brIdx].A {
+		t.Fatalf("block %+v: Target/Cond must mirror the branch operands %+v", b, cm.Code[brIdx])
+	}
+	// Net stack effect: two pushes, two pops by the compare.
+	if b.StackDelta != 0 {
+		t.Fatalf("StackDelta=%d want 0 (branch pops its operands)", b.StackDelta)
+	}
+	if lone := cm.SB[brIdx]; lone.Len != 1 || lone.End != EndIfCmpI || lone.StackDelta != -2 {
+		t.Fatalf("branch-only block %+v: want Len 1, EndIfCmpI, StackDelta -2", lone)
+	}
+}
+
+// TestSuperblockGotoTermination checks a trailing unconditional goto
+// joins its block and carries the resolved target, so loop bodies
+// fast-forward through their backedge.
+func TestSuperblockGotoTermination(t *testing.T) {
+	cm := sbMethod(t, func(a *classfile.Asm) {
+		loop, done := a.NewLabel(), a.NewLabel()
+		a.ConstI(0)
+		a.StoreI(0)
+		a.Bind(loop)
+		a.LoadI(0)
+		a.ConstI(10)
+		a.IfICmpGE(done)
+		a.Inc(0, 1)
+		a.Goto(loop)
+		a.Bind(done)
+		a.LoadI(0)
+		a.Ret()
+	})
+	var gotoIdx = -1
+	for i, in := range cm.Code {
+		if in.Op == isa.OpGoto {
+			gotoIdx = i
+		}
+	}
+	if gotoIdx < 0 {
+		t.Fatal("no goto emitted")
+	}
+	// The block starting at the loop-body instruction right after the
+	// conditional branch must run through the goto and land on its
+	// target.
+	body := cm.SB[gotoIdx-1] // the inc preceding the goto
+	if body.Len != 2 {
+		t.Fatalf("body block Len=%d want 2 (inc+goto)", body.Len)
+	}
+	if body.Target != cm.Code[gotoIdx].A {
+		t.Fatalf("body Target=%d want goto target %d", body.Target, cm.Code[gotoIdx].A)
+	}
+	// The goto alone is also a (Len 1) block.
+	if g := cm.SB[gotoIdx]; g.Len != 1 || g.Target != cm.Code[gotoIdx].A {
+		t.Fatalf("goto block %+v", g)
+	}
+}
+
+// TestSuperblockGuardedDivision checks that a divide by a preceding
+// nonzero constant joins a block but never begins one, and a potentially
+// trapping divide (computed divisor) ends the run.
+func TestSuperblockGuardedDivision(t *testing.T) {
+	cm := sbMethod(t, func(a *classfile.Asm) {
+		a.ConstI(2)
+		a.StoreI(0)
+		a.ConstI(100)
+		a.ConstI(7)
+		a.DivI() // guarded: divisor is the preceding constant 7
+		a.ConstI(3)
+		a.LoadI(0)
+		a.DivI() // unguarded: divisor from a local
+		a.AddI()
+		a.Ret()
+	})
+	var divs []int
+	for i, in := range cm.Code {
+		if in.Op == isa.OpDivI {
+			divs = append(divs, i)
+		}
+	}
+	if len(divs) != 2 {
+		t.Fatalf("want 2 divs, got %v", divs)
+	}
+	guarded, unguarded := divs[0], divs[1]
+	if cm.SB[guarded].Len != 0 {
+		t.Errorf("guarded div must not start a block")
+	}
+	// The block from the start must cover the guarded div but stop
+	// before the unguarded one.
+	b := cm.SB[0]
+	if b.Len == 0 || 0+int(b.Len) <= guarded {
+		t.Errorf("block at 0 (Len=%d) should cover the guarded div at %d", b.Len, guarded)
+	}
+	if 0+int(b.Len) > unguarded {
+		t.Errorf("block at 0 (Len=%d) must stop before the unguarded div at %d", b.Len, unguarded)
+	}
+	if cm.SB[unguarded].Len != 0 {
+		t.Errorf("unguarded div must not start a block")
+	}
+}
+
+// TestSuperblockZeroDivisorNotGuarded checks a constant zero divisor is
+// not admitted (it must trap per-instruction).
+func TestSuperblockZeroDivisorNotGuarded(t *testing.T) {
+	code := []isa.Instr{
+		{Op: isa.OpPushConst, A: 5, Cost: 1},
+		{Op: isa.OpPushConst, A: 0, Cost: 1},
+		{Op: isa.OpDivI, Cost: 4},
+		{Op: isa.OpReturn, A: 1, Cost: 2},
+	}
+	sb := discoverSuperblocks(code)
+	if b := sb[0]; int(b.Len) != 2 {
+		t.Errorf("run must end before the zero-divisor div: %+v", b)
+	}
+	if sb[2].Len != 0 {
+		t.Errorf("zero-divisor div must not be in any block start")
+	}
+}

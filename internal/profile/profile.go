@@ -23,6 +23,15 @@ type CoreStats struct {
 	// Instrs is the number of machine instructions retired.
 	Instrs uint64
 
+	// FastForwardedBlocks/Instrs count superblock fast-forwards: whole
+	// pure straight-line runs whose memoized cost and stack effects the
+	// executor applied in one step instead of per-instruction dispatch.
+	// The fast-forwarded instructions are also counted in Instrs and
+	// their cycles in Cycles — these counters only say how much of the
+	// work took the memoized path (the simulation-speed hit rate).
+	FastForwardedBlocks uint64
+	FastForwardedInstrs uint64
+
 	// Data cache (SPE software cache or PPE L1/L2) events.
 	DataHits, DataMisses uint64
 	DataFlushes          uint64 // whole-cache flushes (SPE: cache filled)
@@ -86,6 +95,8 @@ func (s *CoreStats) Add(o *CoreStats) {
 	}
 	s.Idle += o.Idle
 	s.Instrs += o.Instrs
+	s.FastForwardedBlocks += o.FastForwardedBlocks
+	s.FastForwardedInstrs += o.FastForwardedInstrs
 	s.DataHits += o.DataHits
 	s.DataMisses += o.DataMisses
 	s.DataFlushes += o.DataFlushes

@@ -16,9 +16,21 @@ import (
 // (local-store kinds) or its hardware-cache model.
 func (vm *VM) execute(core *cell.Core, t *Thread, quantum uint64) {
 	deadline := core.Now + quantum
+	// The core's data cache is fixed for the whole quantum; fetch it once
+	// for the fast path's residency query (hot: once per superblock).
+	dcache := vm.dcaches[core.Index]
 	for t.State == StateRunning && core.Now < deadline {
 		f := t.top()
 		if f.Marker {
+			if len(t.Frames) == 1 {
+				// A marker is always pushed beneath a callee (invoke's
+				// migration protocol), so a lone marker is malformed state;
+				// popping it would leave no frame to resume, and the loop
+				// above would spin without charging a cycle. Trap instead.
+				vm.trap(core, t, vm.trapAt(nil, "InternalError",
+					"migration marker with no caller frame"))
+				return
+			}
 			// Resumed after migrating back: drop the marker and deliver
 			// the pending return value to the caller underneath.
 			t.popFrame()
@@ -28,6 +40,19 @@ func (vm *VM) execute(core *cell.Core, t *Thread, quantum uint64) {
 			}
 			t.pendingHasVal = false
 			continue
+		}
+		// Superblock fast path: when a memoized pure block starts here,
+		// fits strictly inside the quantum (every prefix the reference
+		// interpreter would check also fits, so deadline semantics are
+		// unchanged) and is valid for the core's cache-residency class,
+		// apply it in one step. Any divergence falls through to step,
+		// which IS the reference semantics.
+		if sb := f.CM.SB; !vm.sbOff && sb != nil {
+			if b := &sb[f.PC]; b.Len != 0 && core.Now+b.Cycles < deadline &&
+				b.ResMask&(1<<residencyOf(dcache)) != 0 {
+				vm.fastForward(core, t, f, b, dcache, deadline)
+				continue
+			}
 		}
 		in := f.CM.Code[f.PC]
 		core.Charge(in.Op.Class(), uint64(in.Cost))

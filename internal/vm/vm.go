@@ -86,6 +86,13 @@ type Config struct {
 	AdaptiveIntervalCycles uint64
 	AdaptiveStepKB         int
 
+	// DisableSuperblocks turns off the executor's superblock fast path,
+	// forcing per-instruction dispatch everywhere. Simulated results are
+	// byte-identical either way (the differential tests pin this); the
+	// knob exists for that comparison and for isolating executor bugs.
+	// Default false: superblocks are on.
+	DisableSuperblocks bool
+
 	// UnsafeNoCoherence disables the SPE software-cache purge/flush at
 	// monitor and volatile operations. This breaks the Java Memory Model
 	// (ablation A4 measures what the paper's coherence protocol costs);
@@ -190,6 +197,9 @@ type VM struct {
 	// svcBusy serialises the dedicated service-core syscall thread.
 	svcBusy cell.Clock
 
+	// sbOff caches Cfg.DisableSuperblocks for the executor's hot loop.
+	sbOff bool
+
 	// adapt holds adaptive-cache controller state, indexed by
 	// Core.Index (entries for hardware-cached cores are unused).
 	adapt []adaptState
@@ -235,6 +245,7 @@ func New(cfg Config, prog *classfile.Program) (*VM, error) {
 		natives:      make(map[string]*Native),
 		Monitor:      profile.NewMonitor(),
 		ifaceMethods: make(map[int]*classfile.Method),
+		sbOff:        cfg.DisableSuperblocks,
 	}
 
 	// Carve main memory: the boot area, then one compiled-code region
