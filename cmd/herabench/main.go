@@ -10,8 +10,9 @@
 //	herabench -fig a3 -v      # ablation A3 with progress logging
 //	herabench -fig steal      # calendar vs work-stealing scheduler
 //	herabench -fig migrate    # stealing vs cost-gated cross-kind migration
-//	herabench -fig serve      # job-serving churn: N jobs over one booted VM
-//	herabench -fig serve -jobs 40 -cadence 250000       # heavier churn
+//	herabench -fig serve      # open-loop serving: trace-driven jobs, shedding off vs on
+//	herabench -fig serve -trace bursty -jobs 40 -cadence 250000  # heavier churn
+//	herabench -fig serve -json BENCH_serve.json         # goodput/p99 artifact
 //	herabench -fig 4a -sched steal                      # any figure, stealing scheduler
 //	herabench -full -fig topo -topology "ppe:1,spe:6;ppe:1,spe:4,vpu:2"
 //	herabench -fig simspeed                             # simulator wall-clock: fast path on vs off
@@ -39,13 +40,12 @@ func main() {
 		sched = flag.String("sched", "", "scheduler for every run: calendar | steal | migrate (default: calendar)")
 		topos = flag.String("topology", "",
 			`semicolon-separated machine shapes for the topo/steal/migrate/serve sweeps, e.g. "ppe:1,spe:6;ppe:1,spe:4,vpu:2"`)
-		jobs     = flag.Int("jobs", 0, "serve driver: number of jobs submitted to the booted VM (default 21)")
-		cadence  = flag.Uint64("cadence", 0, "serve driver: cycles between job arrivals (default 500000)")
 		nowall   = flag.Bool("nowall", false, "simspeed: omit wall-clock columns so output replays byte for byte")
-		jsonPath = flag.String("json", "", "simspeed: write the sweep as JSON (the BENCH_simspeed.json shape) to this path")
+		jsonPath = flag.String("json", "", "write the simspeed or serve sweep as JSON (BENCH_*.json shape) to this path")
 		baseline = flag.String("baseline", "", "simspeed: compare speedups against this baseline JSON; exit 1 on regression")
 		verb     = flag.Bool("v", false, "log per-run progress to stderr")
 	)
+	serveFlags := experiments.BindServeFlags(flag.CommandLine)
 	flag.Parse()
 
 	opt := experiments.Quick()
@@ -56,8 +56,7 @@ func main() {
 		opt.Progress = os.Stderr
 	}
 	opt.Scheduler = *sched
-	opt.ServeJobs = *jobs
-	opt.ServeCadence = *cadence
+	serveFlags.Apply(&opt)
 	opt.NoWall = *nowall
 	if *topos != "" {
 		list, err := cell.ParseTopologyList(*topos)
@@ -72,9 +71,10 @@ func main() {
 		id  string
 		run func(experiments.Options) (table, error)
 	}
-	// simspeed's result is kept concrete for the -json / -baseline
-	// post-processing below.
+	// simspeed's and serve's results are kept concrete for the -json /
+	// -baseline post-processing below.
 	var simspeed *experiments.SimSpeed
+	var serve *experiments.ServeSweep
 	all := []experiment{
 		{"4a", func(o experiments.Options) (table, error) { return experiments.RunFig4a(o) }},
 		{"4b", func(o experiments.Options) (table, error) { return experiments.RunFig4b(o) }},
@@ -88,7 +88,13 @@ func main() {
 		{"topo", func(o experiments.Options) (table, error) { return experiments.RunTopologySweep(o) }},
 		{"steal", func(o experiments.Options) (table, error) { return experiments.RunStealSweep(o) }},
 		{"migrate", func(o experiments.Options) (table, error) { return experiments.RunMigrateSweep(o) }},
-		{"serve", func(o experiments.Options) (table, error) { return experiments.RunServe(o) }},
+		{"serve", func(o experiments.Options) (table, error) {
+			s, err := experiments.RunServe(o)
+			if err == nil {
+				serve = s
+			}
+			return s, err
+		}},
 		{"simspeed", func(o experiments.Options) (table, error) {
 			s, err := experiments.RunSimSpeed(o)
 			if err == nil {
@@ -117,6 +123,18 @@ func main() {
 		os.Exit(2)
 	}
 
+	// -json writes whichever JSON-bearing sweep ran; simspeed wins when
+	// both did (fig=all), keeping the existing bench pipeline's shape.
+	if *jsonPath != "" && simspeed == nil && serve != nil {
+		out, err := serve.JSON()
+		if err == nil {
+			err = os.WriteFile(*jsonPath, out, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "serve json: %v\n", err)
+			os.Exit(1)
+		}
+	}
 	if simspeed != nil {
 		if *jsonPath != "" {
 			out, err := simspeed.JSON()

@@ -13,6 +13,16 @@
 //	herajvm -workload compress -sched migrate        # + cost-gated cross-kind migration
 //	herajvm -workload mandelbrot -topology ppe:2,spe:2       # asymmetric machine
 //	herajvm -workload mandelbrot -topology ppe:1,spe:4,vpu:2 # three core kinds
+//
+// With -jobs or -trace set, herajvm serves the workload open-loop
+// instead of running it once: jobs arrive on a seeded trace, each
+// carrying a deadline, and the report shows admission verdicts, shed
+// counts and latency percentiles under the chosen scheduler. The
+// -jobs/-cadence/-trace/-seed/-deadline/-maxpending flags are shared
+// with herabench and behave identically:
+//
+//	herajvm -workload compress -sched migrate -trace poisson -jobs 12
+//	herajvm -workload mandelbrot -trace bursty -jobs 8 -seed 7
 package main
 
 import (
@@ -21,6 +31,7 @@ import (
 	"os"
 
 	hera "herajvm"
+	"herajvm/internal/experiments"
 )
 
 func main() {
@@ -37,6 +48,7 @@ func main() {
 		clockHz  = flag.Float64("clockhz", 3.2e9, "core clock rate in Hz for cycle-to-time conversion")
 		report   = flag.Bool("report", true, "print the machine report")
 	)
+	serveFlags := experiments.BindServeFlags(flag.CommandLine)
 	flag.Parse()
 
 	spec, err := hera.WorkloadByName(*workload)
@@ -58,6 +70,23 @@ func main() {
 	}
 	if *threads == 0 {
 		*threads = topo.DefaultWorkers()
+	}
+
+	// Serve mode: play an open-loop arrival trace of this workload
+	// through the admission pipeline instead of one one-shot run.
+	if serveFlags.Jobs > 0 || serveFlags.Trace != "" {
+		opt := experiments.Quick()
+		serveFlags.Apply(&opt)
+		opt.Scheduler = *sched
+		opt.Topologies = []hera.Topology{topo}
+		opt.ServeWorkloads = []string{*workload}
+		sweep, err := experiments.RunServe(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(sweep.Table())
+		return
 	}
 
 	cfg := hera.DefaultConfig()
@@ -91,7 +120,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	res, err := sys.Run(spec.MainClass, "main")
+	job, _, err := sys.Submit(hera.JobRequest{Class: spec.MainClass, Method: "main"})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := job.Wait()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -37,7 +37,11 @@ func run(name string, dataKB int, scale int) (cycles uint64, dataMissPerK, codeM
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.Run(spec.MainClass, "main")
+	job, _, err := sys.Submit(hera.JobRequest{Class: spec.MainClass, Method: "main"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := job.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -83,7 +83,11 @@ func run(annotate bool) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.Run("Main", "main")
+	job, _, err := sys.Submit(hera.JobRequest{Class: "Main", Method: "main"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := job.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -43,7 +43,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := sys.Run(spec.MainClass, "main")
+		job, _, err := sys.Submit(hera.JobRequest{Class: spec.MainClass, Method: "main"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := job.Wait()
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,7 +1,9 @@
 // Jobserver: boot one VM and submit several jobs to it as a session —
-// the same entry method run as three independent jobs arriving over
+// the same entry method run as independent jobs arriving over
 // simulated time, each with its own per-job cycles, output and
-// scheduling counters.
+// scheduling counters. Each job carries a completion deadline, and the
+// last submission carries one so tight the admission pipeline sheds it
+// on the spot — its Wait returns immediately with Result.Shed set.
 //
 //	go run ./examples/jobserver
 package main
@@ -49,25 +51,37 @@ func main() {
 	a.Ret()
 	a.MustBuild()
 
-	sys, err := hera.NewSystem(hera.DefaultConfig(), prog)
+	cfg := hera.DefaultConfig()
+	// Deadline shedding on: submissions predicted (from the scheduler's
+	// drain estimates) to miss their deadline are refused at admission.
+	cfg.Admission = hera.AdmissionConfig{Shed: true}
+	sys, err := hera.NewSystem(cfg, prog)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Three submissions, arriving 100k cycles apart, sharing the booted
-	// machine. Nothing executes until the machine is driven.
+	// Four submissions, arriving 100k cycles apart, sharing the booted
+	// machine. Nothing executes until the machine is driven. The first
+	// three carry a roomy deadline; the last one's is impossibly tight,
+	// so the admission pipeline sheds it.
 	var jobs []*hera.Job
-	for i := 0; i < 3; i++ {
-		job, err := sys.Submit(hera.JobRequest{
-			Class:   "Work",
-			Method:  "main",
-			Name:    fmt.Sprintf("crunch#%d", i),
-			Args:    []int32{int32(i + 5)},
-			Arrival: uint64(i) * 100_000,
+	for i := 0; i < 4; i++ {
+		deadline := uint64(200_000_000)
+		if i == 3 {
+			deadline = 1
+		}
+		job, verdict, err := sys.Submit(hera.JobRequest{
+			Class:    "Work",
+			Method:   "main",
+			Name:     fmt.Sprintf("crunch#%d", i),
+			Args:     []int32{int32(i + 5)},
+			Arrival:  uint64(i) * 100_000,
+			Deadline: deadline,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		fmt.Printf("%s: verdict %s\n", job.Name(), verdict)
 		jobs = append(jobs, job)
 	}
 	if err := sys.Drain(); err != nil {
@@ -78,9 +92,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s: value=%d cycles=%d (admitted %d) migrations=%d compiles=%d\n",
+		if res.Shed {
+			fmt.Printf("%s: shed at admission\n", job.Name())
+			continue
+		}
+		fmt.Printf("%s: value=%d cycles=%d (admitted %d) deadline met=%v migrations=%d compiles=%d\n",
 			job.Name(), int32(uint32(res.Value)), res.Cycles, res.AdmittedAt,
-			res.Migrations, res.Compiles)
+			res.DeadlineMet, res.Migrations, res.Compiles)
 	}
 	fmt.Print(sys.Report())
 }

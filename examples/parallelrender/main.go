@@ -34,7 +34,11 @@ func run(spes int) (cycles uint64, checksum int32) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.Run(spec.MainClass, "main")
+	job, _, err := sys.Submit(hera.JobRequest{Class: spec.MainClass, Method: "main"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := job.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -53,7 +53,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.Run("Main", "main")
+	job, _, err := sys.Submit(hera.JobRequest{Class: "Main", Method: "main"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := job.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}

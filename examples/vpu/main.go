@@ -92,7 +92,11 @@ func run(topology string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := sys.Run("Main", "main")
+	job, _, err := sys.Submit(hera.JobRequest{Class: "Main", Method: "main"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := job.Wait()
 	if err != nil {
 		log.Fatal(err)
 	}

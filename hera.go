@@ -17,25 +17,32 @@
 //	a.MustBuild()
 //
 //	sys, _ := hera.NewSystem(hera.DefaultConfig(), prog)
-//	res, _ := sys.Run("Main", "main")
+//	job, _, _ := sys.Submit(hera.JobRequest{Class: "Main", Method: "main"})
+//	res, _ := job.Wait()
 //	fmt.Println(int32(res.Value), res.Cycles)
 //
 // A System is a long-lived session: the VM stays booted, and many jobs
 // can be submitted to it asynchronously (in simulated time) and waited
 // on individually, each with its own per-job accounting — cycles from
-// admission to completion, captured output, and migration/steal/compile
-// counters:
+// admission to completion, captured output, and
+// migration/steal/compile/GC counters:
 //
-//	job1, _ := sys.Submit(hera.JobRequest{Class: "Main", Method: "main"})
-//	job2, _ := sys.Submit(hera.JobRequest{Class: "Main", Method: "main", Arrival: 500_000})
+//	job1, _, _ := sys.Submit(hera.JobRequest{Class: "Main", Method: "main"})
+//	job2, _, _ := sys.Submit(hera.JobRequest{Class: "Main", Method: "main", Arrival: 500_000})
 //	_ = sys.Drain()
 //	res1, _ := job1.Wait()
 //	res2, _ := job2.Wait()
 //	fmt.Println(res1.Cycles, res2.Cycles, res2.Migrations)
 //
-// Replaying the same submission script reproduces the same results byte
-// for byte: admission is ordered by (arrival cycle, submission
-// sequence) and the machine's stepping is deterministic.
+// Every submission passes through an admission pipeline and Submit
+// returns its verdict — Admitted, Delayed (accepted, but predicted to
+// queue) or Shed. A JobRequest may carry a Deadline (cycles, relative
+// to admission); with Config.Admission shedding enabled, jobs the
+// scheduler's drain estimates predict to miss their deadline are shed
+// at admission and never run. Replaying the same submission script
+// reproduces the same results byte for byte: admission is ordered by
+// (arrival cycle, submission sequence), verdicts included, and the
+// machine's stepping is deterministic.
 //
 // Threads whose methods carry placement annotations (RunOnSPE,
 // FloatIntensive, ...) migrate transparently between the PPE and the
@@ -156,16 +163,25 @@ type (
 	// accepts job submissions (Submit/Drain) beside the one-shot Run.
 	System = core.System
 	// JobRequest describes one submission to a booted System: an entry
-	// method, optional int args, an arrival cycle and an optional
-	// placement-policy override.
+	// method, optional int args, an arrival cycle, an optional
+	// completion deadline and an optional placement-policy override.
 	JobRequest = core.JobRequest
 	// Job is one submitted job; Job.Wait drives the machine until it
-	// completes and returns its per-job Result.
+	// completes and returns its per-job Result, and Job.Err reports its
+	// first thread trap without driving anything.
 	Job = core.Job
 	// Result summarises one completed job: admission-to-completion
 	// cycles, the entry method's return value, the job's own captured
-	// output and its migration/steal/compile counters.
+	// output, its admission verdict and deadline fate, and its
+	// migration/steal/compile/GC counters.
 	Result = core.Result
+	// Verdict is the admission pipeline's decision for one submission
+	// (Admitted, Delayed or Shed).
+	Verdict = core.Verdict
+	// AdmissionConfig bounds the admission pipeline (Config.Admission):
+	// a pending-job backstop plus deadline-predictive shedding. The
+	// zero value admits everything.
+	AdmissionConfig = vm.AdmissionConfig
 	// Policy decides thread placement.
 	Policy = vm.Policy
 	// AnnotationPolicy places threads by code annotations (the default).
@@ -188,6 +204,22 @@ type (
 	// CoreGroup is one run of identical cores in a Topology.
 	CoreGroup = cell.CoreGroup
 )
+
+// Admission verdicts.
+const (
+	// Admitted means the job is predicted to start promptly.
+	Admitted = core.Admitted
+	// Delayed means the job was accepted but will queue first.
+	Delayed = core.Delayed
+	// Shed means the job was refused at admission and never runs.
+	Shed = core.Shed
+)
+
+// ErrDeadlock is the machine-level failure Job.Wait and System.Drain
+// wrap when live threads remain but none is runnable; match it with
+// errors.Is to distinguish a dead machine from a per-job trap (which
+// Wait returns alongside a valid Result).
+var ErrDeadlock = core.ErrDeadlock
 
 // Core kinds. PPE and SPE are the Cell's pair; VPU is the registered
 // GPU-like wide vector core (cheap FP, brutal branches, SPE-style
@@ -237,6 +269,12 @@ func ParseTopologyList(s string) ([]Topology, error) { return cell.ParseTopology
 // algorithms register there like core kinds do in the kind registry —
 // see docs/ARCHITECTURE.md for the interface contract.
 func Schedulers() []string { return sched.Names() }
+
+// Traces lists the registered arrival-trace names the open-loop serve
+// driver accepts (the -trace flag of herabench and herajvm): "uniform",
+// "poisson", "bursty" and "diurnal". Like Schedulers, it is the
+// discovery surface — CLIs build their help text from it.
+func Traces() []string { return experiments.Traces() }
 
 // DefaultMonitoringPolicy returns the runtime-monitoring placement
 // policy with calibrated thresholds.

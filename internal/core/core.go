@@ -56,12 +56,29 @@ type Result struct {
 	// AdmittedAt and CompletedAt bound the job in simulated time.
 	AdmittedAt  cell.Clock
 	CompletedAt cell.Clock
+	// Verdict is the admission pipeline's decision for the job; Shed is
+	// true when it was refused at admission (Verdict == Shed), in which
+	// case the job never ran: Cycles, Value and Output are zero and
+	// DeadlineMet is false.
+	Verdict Verdict
+	Shed    bool
+	// Deadline is the job's absolute completion deadline (0 = none) and
+	// DeadlineMet whether the job completed by it (true when it had
+	// none).
+	Deadline    cell.Clock
+	DeadlineMet bool
 	// Migrations, Steals and Compiles count the scheduling events the
 	// job's threads experienced (cross-kind moves, same-kind steals,
 	// fresh JIT compiles triggered).
 	Migrations uint64
 	Steals     uint64
 	Compiles   uint64
+	// GCPauses and GCCycles count the stop-the-world collections the
+	// job's own allocations forced and their total pause cycles — the
+	// collector's time billed to the job whose allocation pressure
+	// triggered it, so serving percentiles cannot hide GC.
+	GCPauses uint64
+	GCCycles uint64
 }
 
 // Run executes a static entry method to completion: a thin wrapper
@@ -71,7 +88,7 @@ type Result struct {
 // its own job and blurs nothing, but its name hides that the system
 // stays booted and reusable afterwards.
 func (s *System) Run(className, methodName string) (*Result, error) {
-	job, err := s.Submit(JobRequest{Class: className, Method: methodName})
+	job, _, err := s.Submit(JobRequest{Class: className, Method: methodName})
 	if err != nil {
 		return nil, err
 	}

@@ -1,14 +1,17 @@
 // Job-session API: a booted System accepts many asynchronous job
 // submissions — each a named entry method with optional arguments, an
-// arrival cycle and an optional placement-policy override — over one
-// long-lived VM, the workload shape the paper's runtime system exists
-// to serve. Submission is asynchronous in *simulated* time: Submit
-// admits the job (creating its root thread, placed through the
-// scheduler's drain-time estimate) without advancing the machine;
-// Job.Wait and System.Drain drive it. Admission is totally ordered by
-// (arrival cycle, submission sequence), and the machine's stepping is
+// arrival cycle, an optional deadline and an optional placement-policy
+// override — over one long-lived VM, the workload shape the paper's
+// runtime system exists to serve. Submission is asynchronous in
+// *simulated* time: Submit runs the request through the admission
+// pipeline (creating the root thread of an admitted job, placed
+// through the scheduler's drain-time estimate) without advancing the
+// machine; Job.Wait, System.Drain and System.RunUntil drive it.
+// Admission is totally ordered by (arrival cycle, submission
+// sequence) — shed jobs included — and the machine's stepping is
 // independent of where the driving loop pauses, so replaying the same
-// submission script yields byte-identical results.
+// submission script against the same driving schedule yields
+// byte-identical results.
 
 package core
 
@@ -18,6 +21,26 @@ import (
 	"herajvm/internal/cell"
 	"herajvm/internal/vm"
 )
+
+// Verdict is the admission pipeline's decision for one submission:
+// Admitted, Delayed (admitted, but predicted to queue behind backlog)
+// or Shed (refused — the job will never run). See vm.Verdict.
+type Verdict = vm.Verdict
+
+// Admission verdicts, re-exported for callers of Submit.
+const (
+	// Admitted means the job is predicted to start promptly.
+	Admitted = vm.VerdictAdmitted
+	// Delayed means the job was accepted but will queue first.
+	Delayed = vm.VerdictDelayed
+	// Shed means the job was refused at admission and never runs.
+	Shed = vm.VerdictShed
+)
+
+// ErrDeadlock is the machine-level failure Wait and Drain wrap when
+// live threads remain but none is runnable; match it with errors.Is
+// to distinguish a dead machine from a per-job trap.
+var ErrDeadlock = vm.ErrDeadlock
 
 // JobRequest describes one submission to a booted System.
 type JobRequest struct {
@@ -31,6 +54,12 @@ type JobRequest struct {
 	// Arrival is the simulated cycle the job's root thread becomes
 	// runnable, floored at the machine's current clock; 0 means "now".
 	Arrival cell.Clock
+	// Deadline is the job's completion deadline in cycles relative to
+	// its admission (0 = none). With deadline shedding configured
+	// (Config.Admission.Shed), a job the scheduler's drain estimates
+	// predict to miss it is shed at admission; either way the
+	// completed job's Result reports DeadlineMet honestly.
+	Deadline cell.Clock
 	// Policy optionally overrides the system-wide placement policy for
 	// every thread of this job.
 	Policy vm.Policy
@@ -46,23 +75,36 @@ type Job struct {
 	err   error
 }
 
-// Submit admits a job to the booted VM. The job does not execute until
-// the machine is driven (Job.Wait or System.Drain); submissions made
+// Submit runs a job request through the admission pipeline of the
+// booted VM and returns the job handle plus the admission verdict.
+// An admitted (or delayed) job does not execute until the machine is
+// driven (Job.Wait, System.Drain or System.RunUntil); submissions made
 // before driving share the machine and are scheduled against each
-// other, which is the point of the session.
-func (s *System) Submit(req JobRequest) (*Job, error) {
+// other, which is the point of the session. A shed job never runs:
+// its Wait returns immediately with a Result whose Shed flag is set.
+// The error return is for malformed requests only — shedding is a
+// verdict, not an error.
+func (s *System) Submit(req JobRequest) (*Job, Verdict, error) {
 	args := make([]uint64, len(req.Args))
 	for i, v := range req.Args {
 		args[i] = uint64(uint32(v))
 	}
-	inner, err := s.VM.SubmitJob(req.Name, req.Class, req.Method, args, make([]bool, len(args)),
-		req.Arrival, req.Policy)
+	inner, err := s.VM.SubmitJob(vm.JobSpec{
+		Name:     req.Name,
+		Class:    req.Class,
+		Method:   req.Method,
+		Args:     args,
+		ArgRefs:  make([]bool, len(args)),
+		Arrival:  req.Arrival,
+		Deadline: req.Deadline,
+		Policy:   req.Policy,
+	})
 	if err != nil {
-		return nil, err
+		return nil, Shed, err
 	}
 	j := &Job{sys: s, inner: inner, req: req}
 	s.jobs = append(s.jobs, j)
-	return j, nil
+	return j, inner.Verdict, nil
 }
 
 // Jobs returns the session's submitted jobs in admission order.
@@ -73,9 +115,16 @@ func (s *System) Jobs() []*Job {
 }
 
 // Drain drives the machine until every submitted job has completed.
-// Per-job traps stay on the jobs (Job.Wait reports them); Drain returns
-// only machine-level failures (deadlock).
+// Per-job traps stay on the jobs (Job.Wait and Job.Err report them);
+// Drain returns only machine-level failures (ErrDeadlock).
 func (s *System) Drain() error { return s.VM.DrainJobs() }
+
+// RunUntil drives the machine until its clock reaches the given cycle
+// or no runnable work remains — the open-loop serving primitive:
+// advance to the next arrival, then Submit, so each admission verdict
+// is decided against the machine state holding at that arrival. It
+// returns only machine-level failures (ErrDeadlock).
+func (s *System) RunUntil(c cell.Clock) error { return s.VM.RunUntil(c) }
 
 // ID returns the job's admission sequence number.
 func (j *Job) ID() int { return j.inner.ID }
@@ -86,16 +135,30 @@ func (j *Job) Name() string { return j.inner.Name }
 // Request returns the submission that created the job.
 func (j *Job) Request() JobRequest { return j.req }
 
+// Verdict returns the admission pipeline's decision for the job.
+func (j *Job) Verdict() Verdict { return j.inner.Verdict }
+
 // Done reports whether the job has completed (without driving it).
+// Shed jobs are done at admission.
 func (j *Job) Done() bool { return j.inner.Done() }
+
+// Err returns the job's first thread trap in creation order, or nil —
+// without driving the machine. Use it to inspect a completed job's
+// fate when Wait's combined (Result, error) return is awkward; a
+// machine-level deadlock is NOT reported here (that is Wait's
+// ErrDeadlock), so Err == nil on a done job means it ran to
+// completion cleanly.
+func (j *Job) Err() error { return j.inner.Err() }
 
 // Wait drives the machine until the job completes and returns its
 // Result. Other submitted jobs progress too — the machine is shared;
 // Wait only decides when the driving loop hands back. A trap in any of
 // the job's threads is returned as the error, alongside the Result —
 // a trapped job still completed, and its output, cycles and counters
-// remain meaningful. Only a machine-level failure (deadlock) returns
-// a nil Result.
+// remain meaningful. Only a machine-level failure returns a nil
+// Result; match that error with errors.Is(err, ErrDeadlock). A shed
+// job returns immediately: its Result carries the verdict (Shed set,
+// no value, no cycles) and a nil error.
 func (j *Job) Wait() (*Result, error) {
 	if j.res != nil {
 		return j.res, j.err
@@ -108,14 +171,22 @@ func (j *Job) Wait() (*Result, error) {
 	j.res = &Result{
 		Cycles:      in.Cycles(),
 		Millis:      float64(in.Cycles()) / (j.sys.VM.Cfg.Machine.EffectiveClockHz() / 1e3),
-		Value:       in.Root().Result,
-		HasValue:    in.Root().HasResult,
 		Output:      in.Output(),
 		AdmittedAt:  in.AdmittedAt,
 		CompletedAt: in.CompletedAt,
+		Deadline:    in.Deadline,
+		DeadlineMet: in.DeadlineMet,
+		Verdict:     in.Verdict,
+		Shed:        in.Verdict == Shed,
 		Migrations:  in.Stats.Migrations,
 		Steals:      in.Stats.Steals,
 		Compiles:    in.Stats.Compiles,
+		GCPauses:    in.Stats.GCPauses,
+		GCCycles:    in.Stats.GCCycles,
+	}
+	if root := in.Root(); root != nil {
+		j.res.Value = root.Result
+		j.res.HasValue = root.HasResult
 	}
 	return j.res, j.err
 }
@@ -123,10 +194,20 @@ func (j *Job) Wait() (*Result, error) {
 // describe renders one job line for the machine report.
 func (j *Job) describe() string {
 	in := j.inner
-	if !in.Done() {
+	switch {
+	case in.Verdict == Shed:
+		return fmt.Sprintf("  job %-2d %-28s admitted=%-10d shed", in.ID, in.Name, in.AdmittedAt)
+	case !in.Done():
 		return fmt.Sprintf("  job %-2d %-28s admitted=%-10d running", in.ID, in.Name, in.AdmittedAt)
 	}
-	return fmt.Sprintf("  job %-2d %-28s admitted=%-10d cycles=%-10d mig=%d steals=%d compiles=%d",
+	line := fmt.Sprintf("  job %-2d %-28s admitted=%-10d cycles=%-10d mig=%d steals=%d compiles=%d",
 		in.ID, in.Name, in.AdmittedAt, in.Cycles(),
 		in.Stats.Migrations, in.Stats.Steals, in.Stats.Compiles)
+	if in.Stats.GCPauses > 0 {
+		line += fmt.Sprintf(" gc=%d/%dcyc", in.Stats.GCPauses, in.Stats.GCCycles)
+	}
+	if in.Deadline != 0 {
+		line += fmt.Sprintf(" deadline=%d met=%v", in.Deadline, in.DeadlineMet)
+	}
+	return line
 }

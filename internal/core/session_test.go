@@ -45,7 +45,7 @@ func runBurst(t *testing.T) ([]string, string) {
 	}
 	jobs := make([]*Job, len(entries))
 	for i, e := range entries {
-		jobs[i], err = sys.Submit(JobRequest{
+		jobs[i], _, err = sys.Submit(JobRequest{
 			Class:   e.MainClassOf(i),
 			Method:  "main",
 			Arrival: uint64(i) * 250_000,

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"flag"
+	"strings"
+)
+
+// ServeFlags is the shared CLI surface of the open-loop serve driver,
+// so `herabench` and `herajvm` expose identical -jobs/-cadence/-trace/
+// -seed/-deadline/-maxpending knobs with identical semantics and help
+// text, the way hera.Schedulers() already unifies -sched discovery.
+type ServeFlags struct {
+	Jobs       int
+	Cadence    uint64
+	Trace      string
+	Seed       uint64
+	Deadline   uint64
+	MaxPending int
+}
+
+// BindServeFlags registers the serve driver's flags on a flag set and
+// returns the struct they fill. Zero values defer to the driver's
+// defaults (RunServe).
+func BindServeFlags(fs *flag.FlagSet) *ServeFlags {
+	f := &ServeFlags{}
+	fs.IntVar(&f.Jobs, "jobs", 0, "serve: number of jobs the arrival trace emits (0 = default)")
+	fs.Uint64Var(&f.Cadence, "cadence", 0, "serve: mean inter-arrival gap in cycles (0 = default)")
+	fs.StringVar(&f.Trace, "trace", "", "serve: arrival trace, one of "+strings.Join(Traces(), "|")+" (default poisson)")
+	fs.Uint64Var(&f.Seed, "seed", 0, "serve: arrival-trace PRNG seed (0 = default)")
+	fs.Uint64Var(&f.Deadline, "deadline", 0, "serve: per-job completion deadline in cycles relative to admission (0 = default)")
+	fs.IntVar(&f.MaxPending, "maxpending", 0, "serve: admission queue-depth backstop for shedding runs (0 = default)")
+	return f
+}
+
+// Apply copies the bound flag values into experiment options.
+func (f *ServeFlags) Apply(o *Options) {
+	o.ServeJobs = f.Jobs
+	o.ServeCadence = f.Cadence
+	o.ServeTrace = f.Trace
+	o.ServeSeed = f.Seed
+	o.ServeDeadline = f.Deadline
+	o.ServeMaxPending = f.MaxPending
+}

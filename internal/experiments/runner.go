@@ -35,11 +35,24 @@ type Options struct {
 	// sweeps visit (nil keeps each sweep's defaults). herabench fills
 	// it from the -topology flag.
 	Topologies []cell.Topology
-	// ServeJobs and ServeCadence size the job-serving churn driver
-	// (RunServe): how many jobs are submitted to the booted VM and how
-	// many cycles apart they arrive. 0 keeps the driver's defaults.
+	// ServeJobs and ServeCadence size the open-loop serve driver
+	// (RunServe): how many jobs the arrival trace emits and the mean
+	// inter-arrival gap in cycles. 0 keeps the driver's defaults.
 	ServeJobs    int
 	ServeCadence uint64
+	// ServeTrace names the arrival process (see Traces(); default
+	// "poisson") and ServeSeed seeds its PRNG, together naming one
+	// exact arrival script.
+	ServeTrace string
+	ServeSeed  uint64
+	// ServeDeadline is the per-job completion deadline in cycles
+	// relative to admission, and ServeMaxPending the admission
+	// queue-depth backstop of shedding runs. 0 keeps the defaults.
+	ServeDeadline   cell.Clock
+	ServeMaxPending int
+	// ServeWorkloads restricts the serve mix to the named workloads
+	// (round-robin; nil = all three).
+	ServeWorkloads []string
 	// NoWall suppresses wall-clock columns in tables whose rows carry
 	// host timings (the simspeed sweep), so their output is replayable
 	// byte for byte in the determinism gates.

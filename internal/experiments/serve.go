@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 
 	"herajvm/internal/cell"
@@ -11,21 +13,36 @@ import (
 	"herajvm/internal/workloads"
 )
 
-// The serve driver is the ROADMAP's batch/async workload harness: many
-// short benchmark programs submitted as jobs to ONE booted VM at a
-// fixed arrival cadence, exercising the schedulers under churn rather
-// than one-shot runs. Jobs are drawn round-robin from the paper's
-// three workloads, each an isolated class-copy (workloads.BuildMix) so
-// concurrent instances share no mutable statics, and the whole matrix
-// replays under calendar, steal and migrate — the churn scenario the
-// cost-gated migration scheduler was built for: SPE-pinned workers
-// overload the SPE pool while the VPUs idle, and only cross-kind
-// migration can put them to work.
+// The serve driver is the ROADMAP's serving harness grown open-loop:
+// jobs drawn round-robin from the paper's three workloads arrive at
+// the cycles a seeded arrival trace dictates — regardless of whether
+// the machine is keeping up — carrying a completion deadline, and the
+// booted VM's admission pipeline decides admit/delay/shed per arrival
+// from the scheduler's drain estimates. The driver interleaves
+// RunUntil(arrival) with Submit so every verdict is decided against
+// the machine state actually holding at that arrival, then reports the
+// SLO view per scheduler with shedding off and on: p50/p95/p99
+// admission→completion latency, shed count, and goodput (deadline-met
+// jobs per simulated second). The whole matrix replays byte for byte
+// from (trace, seed, jobs, cadence).
 
 const (
 	defaultServeJobs    = 21
 	defaultServeCadence = 500_000
-	serveThreads        = 2
+	defaultServeTrace   = "poisson"
+	defaultServeSeed    = 1
+	// defaultServeDeadline is the per-job completion deadline in cycles
+	// (relative to admission): roomy enough that early jobs on an idle
+	// machine meet it, tight enough that deep queues cannot.
+	defaultServeDeadline = 60_000_000
+	// defaultServeMaxPending is the admission queue-depth backstop for
+	// shedding runs — a guard against drain estimates going blind, not
+	// the primary control (the deadline probe is).
+	defaultServeMaxPending = 32
+	serveThreads           = 2
+	// servePerJobMax caps the per-job table; trace runs with hundreds
+	// of jobs report only the summary matrix.
+	servePerJobMax = 40
 )
 
 // serveScales are the per-workload scales the serve driver uses (its
@@ -49,50 +66,80 @@ func DefaultServeTopology() cell.Topology {
 type ServeJob struct {
 	ID       int
 	Workload string
-	// Arrival and Cycles are the job's admission cycle and its
-	// admission-to-completion time.
+	// Arrival is the trace-dictated admission cycle; Verdict the
+	// admission pipeline's decision at it.
 	Arrival cell.Clock
-	Cycles  cell.Clock
-	// Migrations/Steals/Compiles count the scheduling events the job's
-	// own threads experienced.
+	Verdict string
+	// Latency is admission→completion time (0 for shed jobs) and
+	// DeadlineMet whether the job completed by its deadline (false for
+	// shed jobs).
+	Latency     cell.Clock
+	DeadlineMet bool
+	// Migrations/Steals/Compiles/GCPauses count the scheduling events
+	// the job's own threads experienced; GCCycles is the collector time
+	// billed to the job's allocations.
 	Migrations uint64
 	Steals     uint64
 	Compiles   uint64
-	// Valid reports the job's checksum matched the Go reference.
+	GCPauses   uint64
+	GCCycles   uint64
+	// Valid reports the job's checksum matched the Go reference (true
+	// vacuously for shed jobs, which are excluded from AllValid).
 	Valid bool
 }
 
-// ServeRun is one scheduler's pass over the whole submission script.
+// ServeRun is one (scheduler, shedding) pass over the arrival script.
 type ServeRun struct {
 	Scheduler string
-	// Makespan is the machine clock when the last job completed.
+	// Shedding reports whether deadline shedding was enabled.
+	Shedding bool
+	// Makespan is the simulated cycle the last job completed.
 	Makespan cell.Clock
-	// MeanCycles averages the jobs' admission-to-completion times (the
-	// per-job latency the paper's runtime-system view cares about;
-	// makespan alone hides queueing delay).
-	MeanCycles cell.Clock
-	Jobs       []ServeJob
+	// P50/P95/P99 are nearest-rank admission→completion latency
+	// percentiles over the jobs that ran (shed jobs excluded — their
+	// latency is not a number; Shed counts them instead).
+	P50, P95, P99 cell.Clock
+	// Completed/Shed/Met split the script: jobs that ran, jobs refused
+	// at admission, and completed jobs that met their deadline.
+	Completed int
+	Shed      int
+	Met       int
+	// Goodput is deadline-met jobs per simulated second — the SLO
+	// number the admission pipeline exists to maximise.
+	Goodput float64
+	Jobs    []ServeJob
 	// Migrations and Steals total the per-job counters.
 	Migrations uint64
 	Steals     uint64
-	// AllValid reports every job's checksum matched its reference.
+	// AllValid reports every completed job's checksum matched its
+	// reference.
 	AllValid bool
 }
 
-// ServeSweep compares the three schedulers on one submission script.
+// ServeSweep compares the schedulers, shedding off vs on, on one
+// arrival script.
 type ServeSweep struct {
 	Topology string
 	NumJobs  int
-	Cadence  uint64
-	Runs     []ServeRun
+	// Cadence is the mean inter-arrival gap in cycles (the rate knob:
+	// arrival rate = ClockHz/Cadence jobs per simulated second).
+	Cadence uint64
+	Trace   string
+	Seed    uint64
+	// Deadline is the per-job completion deadline (cycles, relative to
+	// admission); MaxPending the queue-depth backstop of shedding runs.
+	Deadline   cell.Clock
+	MaxPending int
+	Runs       []ServeRun
 }
 
-// RunServe executes the churn driver: build one program holding
-// NumJobs isolated workload copies, boot one VM per scheduler, submit
-// every job at its arrival cycle, drain, and report makespan plus
-// per-job accounting. The submission script is identical across
-// schedulers, and each run is deterministic — replaying the whole
-// sweep must reproduce its table byte for byte.
+// RunServe executes the open-loop driver: generate the arrival script
+// from (trace, seed, jobs, cadence), then for each scheduler × shedding
+// {off, on}, boot one VM, drive the machine to each arrival before
+// submitting (so admission verdicts see real machine state), drain,
+// and report the SLO view. The script is identical across runs, and
+// each run is deterministic — replaying the sweep must reproduce its
+// table byte for byte.
 func RunServe(opt Options) (*ServeSweep, error) {
 	numJobs := opt.ServeJobs
 	if numJobs <= 0 {
@@ -102,12 +149,47 @@ func RunServe(opt Options) (*ServeSweep, error) {
 	if cadence == 0 {
 		cadence = defaultServeCadence
 	}
+	trace := opt.ServeTrace
+	if trace == "" {
+		trace = defaultServeTrace
+	}
+	seed := opt.ServeSeed
+	if seed == 0 {
+		seed = defaultServeSeed
+	}
+	deadline := opt.ServeDeadline
+	if deadline == 0 {
+		deadline = defaultServeDeadline
+	}
+	maxPending := opt.ServeMaxPending
+	if maxPending == 0 {
+		maxPending = defaultServeMaxPending
+	}
 	topo := DefaultServeTopology()
 	if len(opt.Topologies) > 0 {
 		topo = opt.Topologies[0]
 	}
+	schedulers := []string{"calendar", "steal", "migrate"}
+	if opt.Scheduler != "" {
+		schedulers = []string{opt.Scheduler}
+	}
+
+	arrivals, err := Arrivals(trace, seed, numJobs, cadence)
+	if err != nil {
+		return nil, err
+	}
 
 	specs := workloads.All()
+	if len(opt.ServeWorkloads) > 0 {
+		specs = specs[:0:0]
+		for _, name := range opt.ServeWorkloads {
+			spec, err := workloads.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, spec)
+		}
+	}
 	entries := make([]workloads.MixEntry, numJobs)
 	for i := range entries {
 		spec := specs[i%len(specs)]
@@ -118,22 +200,26 @@ func RunServe(opt Options) (*ServeSweep, error) {
 		entries[i] = workloads.MixEntry{Spec: spec, Threads: serveThreads, Scale: scale}
 	}
 
-	out := &ServeSweep{Topology: topo.String(), NumJobs: numJobs, Cadence: cadence}
-	for _, name := range []string{"calendar", "steal", "migrate"} {
-		run, err := runServeOnce(opt, name, topo, entries, cadence)
-		if err != nil {
-			return nil, err
+	out := &ServeSweep{Topology: topo.String(), NumJobs: numJobs, Cadence: cadence,
+		Trace: trace, Seed: seed, Deadline: deadline, MaxPending: maxPending}
+	for _, name := range schedulers {
+		for _, shed := range []bool{false, true} {
+			run, err := runServeOnce(name, topo, entries, arrivals, deadline, maxPending, shed)
+			if err != nil {
+				return nil, err
+			}
+			opt.logf("serve %s shed=%v on %s: %d jobs, %d shed, goodput=%.2f/s p99=%d",
+				name, shed, topo, numJobs, run.Shed, run.Goodput, run.P99)
+			out.Runs = append(out.Runs, run)
 		}
-		opt.logf("serve %s on %s: %d jobs, makespan=%d mean=%d steals=%d migrations=%d",
-			name, topo, numJobs, run.Makespan, run.MeanCycles, run.Steals, run.Migrations)
-		out.Runs = append(out.Runs, run)
 	}
 	return out, nil
 }
 
-// runServeOnce boots one VM, submits the whole script and drains it.
-func runServeOnce(opt Options, scheduler string, topo cell.Topology,
-	entries []workloads.MixEntry, cadence uint64) (ServeRun, error) {
+// runServeOnce boots one VM and plays the arrival script open-loop:
+// drive the machine to each arrival, submit, drain the tail.
+func runServeOnce(scheduler string, topo cell.Topology, entries []workloads.MixEntry,
+	arrivals []cell.Clock, deadline cell.Clock, maxPending int, shed bool) (ServeRun, error) {
 
 	prog, err := workloads.BuildMix(entries)
 	if err != nil {
@@ -142,6 +228,9 @@ func runServeOnce(opt Options, scheduler string, topo cell.Topology,
 	cfg := vm.DefaultConfig()
 	cfg.Machine.Topology = topo
 	cfg.Scheduler = scheduler
+	if shed {
+		cfg.Admission = vm.AdmissionConfig{MaxPending: maxPending, Shed: true}
+	}
 	sys, err := core.NewSystem(cfg, prog)
 	if err != nil {
 		return ServeRun{}, err
@@ -149,11 +238,17 @@ func runServeOnce(opt Options, scheduler string, topo cell.Topology,
 
 	jobs := make([]*core.Job, len(entries))
 	for i, e := range entries {
-		jobs[i], err = sys.Submit(core.JobRequest{
-			Class:   e.MainClassOf(i),
-			Method:  "main",
-			Name:    fmt.Sprintf("%s#%d", e.Spec.Name, i),
-			Arrival: uint64(i) * cadence,
+		// Open loop: advance simulated time to the arrival first, so the
+		// verdict is decided against the machine state holding then.
+		if err := sys.RunUntil(arrivals[i]); err != nil {
+			return ServeRun{}, fmt.Errorf("serve %s: advancing to job %d: %w", scheduler, i, err)
+		}
+		jobs[i], _, err = sys.Submit(core.JobRequest{
+			Class:    e.MainClassOf(i),
+			Method:   "main",
+			Name:     fmt.Sprintf("%s#%d", e.Spec.Name, i),
+			Arrival:  arrivals[i],
+			Deadline: deadline,
 		})
 		if err != nil {
 			return ServeRun{}, fmt.Errorf("serve %s: submit job %d: %w", scheduler, i, err)
@@ -163,58 +258,129 @@ func runServeOnce(opt Options, scheduler string, topo cell.Topology,
 		return ServeRun{}, fmt.Errorf("serve %s: %w", scheduler, err)
 	}
 
-	run := ServeRun{Scheduler: scheduler, AllValid: true}
-	var totalCycles cell.Clock
+	run := ServeRun{Scheduler: scheduler, Shedding: shed, AllValid: true}
+	var latencies []cell.Clock
 	for i, job := range jobs {
 		res, err := job.Wait() // already done: returns the stored result
 		if err != nil {
 			return ServeRun{}, fmt.Errorf("serve %s: job %d: %w", scheduler, i, err)
 		}
 		e := entries[i]
-		valid := int32(uint32(res.Value)) == e.Spec.Reference(e.Threads, e.Scale)
-		run.AllValid = run.AllValid && valid
+		sj := ServeJob{
+			ID:          i,
+			Workload:    e.Spec.Name,
+			Arrival:     res.AdmittedAt,
+			Verdict:     res.Verdict.String(),
+			DeadlineMet: res.DeadlineMet,
+			Migrations:  res.Migrations,
+			Steals:      res.Steals,
+			Compiles:    res.Compiles,
+			GCPauses:    res.GCPauses,
+			GCCycles:    res.GCCycles,
+			Valid:       true,
+		}
+		if res.Shed {
+			run.Shed++
+		} else {
+			sj.Latency = res.Cycles
+			sj.Valid = int32(uint32(res.Value)) == e.Spec.Reference(e.Threads, e.Scale)
+			run.AllValid = run.AllValid && sj.Valid
+			run.Completed++
+			latencies = append(latencies, sj.Latency)
+			if res.DeadlineMet {
+				run.Met++
+			}
+			if res.CompletedAt > run.Makespan {
+				run.Makespan = res.CompletedAt
+			}
+		}
 		run.Migrations += res.Migrations
 		run.Steals += res.Steals
-		totalCycles += res.Cycles
-		if res.CompletedAt > run.Makespan {
-			run.Makespan = res.CompletedAt
-		}
-		run.Jobs = append(run.Jobs, ServeJob{
-			ID:         i,
-			Workload:   e.Spec.Name,
-			Arrival:    res.AdmittedAt,
-			Cycles:     res.Cycles,
-			Migrations: res.Migrations,
-			Steals:     res.Steals,
-			Compiles:   res.Compiles,
-			Valid:      valid,
-		})
+		run.Jobs = append(run.Jobs, sj)
 	}
-	run.MeanCycles = totalCycles / cell.Clock(len(jobs))
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	run.P50 = percentile(latencies, 50)
+	run.P95 = percentile(latencies, 95)
+	run.P99 = percentile(latencies, 99)
+	if run.Makespan > 0 {
+		hz := cfg.Machine.EffectiveClockHz()
+		run.Goodput = float64(run.Met) / (float64(run.Makespan) / hz)
+	}
 	return run, nil
 }
 
-// Table renders the sweep as text: one summary row per scheduler, then
-// the migrate run's per-job accounting.
+// percentile is the nearest-rank percentile of sorted latencies.
+func percentile(sorted []cell.Clock, p int) cell.Clock {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// JSON renders the sweep as an indented JSON document — the
+// BENCH_serve.json artifact shape (goodput and latency percentiles per
+// scheduler × shedding run, plus the arrival-script parameters that
+// name the run).
+func (s *ServeSweep) JSON() ([]byte, error) {
+	// The artifact carries the summary matrix, not per-job rows: its
+	// job is trend tracking across commits.
+	type runRow struct {
+		Scheduler string     `json:"scheduler"`
+		Shedding  bool       `json:"shedding"`
+		Completed int        `json:"completed"`
+		Shed      int        `json:"shed"`
+		Met       int        `json:"met"`
+		Goodput   float64    `json:"goodput_per_sec"`
+		P50       cell.Clock `json:"p50_cycles"`
+		P95       cell.Clock `json:"p95_cycles"`
+		P99       cell.Clock `json:"p99_cycles"`
+		AllValid  bool       `json:"all_valid"`
+	}
+	doc := struct {
+		Topology   string     `json:"topology"`
+		NumJobs    int        `json:"jobs"`
+		Cadence    uint64     `json:"cadence_cycles"`
+		Trace      string     `json:"trace"`
+		Seed       uint64     `json:"seed"`
+		Deadline   cell.Clock `json:"deadline_cycles"`
+		MaxPending int        `json:"max_pending"`
+		Runs       []runRow   `json:"runs"`
+	}{s.Topology, s.NumJobs, s.Cadence, s.Trace, s.Seed, s.Deadline, s.MaxPending, nil}
+	for _, r := range s.Runs {
+		doc.Runs = append(doc.Runs, runRow{r.Scheduler, r.Shedding, r.Completed,
+			r.Shed, r.Met, r.Goodput, r.P50, r.P95, r.P99, r.AllValid})
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}
+
+// Table renders the sweep as text: one summary row per (scheduler,
+// shedding) run, then per-job accounting for the final run when the
+// script is small enough to print.
 func (s *ServeSweep) Table() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Serve: %d jobs round-robin over one booted VM, topology %s, cadence %d\n",
-		s.NumJobs, s.Topology, s.Cadence)
-	fmt.Fprintf(&b, "%-10s %14s %12s %14s %8s %7s %6s\n",
-		"scheduler", "makespan", "vs calendar", "mean job cyc", "steals", "mig", "valid")
-	base := float64(s.Runs[0].Makespan)
+	fmt.Fprintf(&b, "Serve: %d jobs, %s trace (seed %d), mean gap %d cycles, deadline %d, topology %s\n",
+		s.NumJobs, s.Trace, s.Seed, s.Cadence, s.Deadline, s.Topology)
+	fmt.Fprintf(&b, "%-10s %5s %5s %4s %4s %10s %12s %12s %12s %8s %6s\n",
+		"scheduler", "shed?", "done", "shed", "met", "goodput/s", "p50", "p95", "p99", "steals", "valid")
 	for _, r := range s.Runs {
-		fmt.Fprintf(&b, "%-10s %14d %11.3fx %14d %8d %7d %6v\n",
-			r.Scheduler, r.Makespan, base/float64(r.Makespan), r.MeanCycles,
-			r.Steals, r.Migrations, r.AllValid)
+		fmt.Fprintf(&b, "%-10s %5v %5d %4d %4d %10.2f %12d %12d %12d %8d %6v\n",
+			r.Scheduler, r.Shedding, r.Completed, r.Shed, r.Met, r.Goodput,
+			r.P50, r.P95, r.P99, r.Steals, r.AllValid)
 	}
 	last := s.Runs[len(s.Runs)-1]
-	fmt.Fprintf(&b, "per-job (%s):\n", last.Scheduler)
-	fmt.Fprintf(&b, "%4s %-12s %12s %12s %5s %7s %9s %6s\n",
-		"job", "workload", "arrival", "cycles", "mig", "steals", "compiles", "valid")
-	for _, j := range last.Jobs {
-		fmt.Fprintf(&b, "%4d %-12s %12d %12d %5d %7d %9d %6v\n",
-			j.ID, j.Workload, j.Arrival, j.Cycles, j.Migrations, j.Steals, j.Compiles, j.Valid)
+	if len(last.Jobs) <= servePerJobMax {
+		fmt.Fprintf(&b, "per-job (%s, shed=%v):\n", last.Scheduler, last.Shedding)
+		fmt.Fprintf(&b, "%4s %-12s %12s %-9s %12s %5s %5s %7s %6s %6s\n",
+			"job", "workload", "arrival", "verdict", "latency", "met", "mig", "steals", "gc", "valid")
+		for _, j := range last.Jobs {
+			fmt.Fprintf(&b, "%4d %-12s %12d %-9s %12d %5v %5d %7d %6d %6v\n",
+				j.ID, j.Workload, j.Arrival, j.Verdict, j.Latency, j.DeadlineMet,
+				j.Migrations, j.Steals, j.GCPauses, j.Valid)
+		}
 	}
 	return b.String()
 }

@@ -1,0 +1,77 @@
+package experiments
+
+import "testing"
+
+// TestTraceRegistry: the discovery surface lists the four shipped
+// generators, sorted, and unknown names error with the list.
+func TestTraceRegistry(t *testing.T) {
+	want := []string{"bursty", "diurnal", "poisson", "uniform"}
+	got := Traces()
+	if len(got) != len(want) {
+		t.Fatalf("Traces() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Traces() = %v, want %v", got, want)
+		}
+	}
+	if _, err := Arrivals("nope", 1, 4, 1000); err == nil {
+		t.Error("unknown trace name accepted")
+	}
+}
+
+// TestTraceArrivalsDeterministicAndMonotone: every generator is a pure
+// function of (trace, seed, n, gap) — two generations are identical —
+// and arrival cycles never decrease. A different seed moves the random
+// traces.
+func TestTraceArrivalsDeterministicAndMonotone(t *testing.T) {
+	for _, name := range Traces() {
+		a, err := Arrivals(name, 42, 200, 500_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Arrivals(name, 42, 200, 500_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: arrival %d diverged across replays: %d vs %d", name, i, a[i], b[i])
+			}
+			if i > 0 && a[i] < a[i-1] {
+				t.Errorf("%s: arrivals not monotone at %d: %d < %d", name, i, a[i], a[i-1])
+			}
+		}
+	}
+	a, _ := Arrivals("poisson", 1, 50, 500_000)
+	b, _ := Arrivals("poisson", 2, 50, 500_000)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("poisson arrivals identical across different seeds")
+	}
+}
+
+// TestTraceMeanGap: every generator targets the configured long-run
+// mean gap — over many arrivals the final cycle lands within 3x of
+// n*gap on both sides (loose by design; the traces differ in
+// burstiness, not rate).
+func TestTraceMeanGap(t *testing.T) {
+	const n, gap = 2000, 100_000
+	for _, name := range Traces() {
+		a, err := Arrivals(name, 7, n, gap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := a[n-1]
+		if last < n*gap/3 || last > n*gap*3 {
+			t.Errorf("%s: %d arrivals at mean gap %d span %d cycles, outside [%d, %d]",
+				name, n, gap, last, n*gap/3, n*gap*3)
+		}
+	}
+}

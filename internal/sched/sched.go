@@ -119,6 +119,30 @@ type Scheduler interface {
 	Name() string
 }
 
+// BestCore returns the position (within cores) of the core with the
+// smallest DrainEstimate, breaking ties by Load and then by position,
+// plus that estimate. This is the one drain-ranking both consumers of
+// the scheduler's predictions share: thread placement (the VM's
+// pickCore) and the admission pipeline's deadline probe — a job is
+// placed on, and its queueing delay predicted from, the same core the
+// same way, so an admission verdict and the subsequent placement can
+// never disagree about where the work would go. cores must be
+// non-empty; it need not cover the whole machine (callers pass one
+// kind's pool).
+func BestCore(s Scheduler, cores []*cell.Core) (pos int, drain cell.Clock) {
+	pos = 0
+	drain = s.DrainEstimate(cores[0].Index)
+	bestLoad := s.Load(cores[0].Index)
+	for i := 1; i < len(cores); i++ {
+		d := s.DrainEstimate(cores[i].Index)
+		load := s.Load(cores[i].Index)
+		if d < drain || (d == drain && load < bestLoad) {
+			pos, drain, bestLoad = i, d, load
+		}
+	}
+	return pos, drain
+}
+
 // Factory builds a scheduler over a machine's cores. The slice must be
 // in topology order with cores[i].Index == i (cell.Machine.Cores()
 // provides exactly that).

@@ -22,7 +22,7 @@ func churnMigrations(t *testing.T, cooldown uint64) (most uint64, multi int) {
 		t.Fatal(err)
 	}
 	for j := 0; j < 4; j++ {
-		if _, err := vm.SubmitJob("", "Main", "main", nil, nil, uint64(j)*500_000, nil); err != nil {
+		if _, err := vm.SubmitJob(JobSpec{Class: "Main", Method: "main", Arrival: uint64(j) * 500_000}); err != nil {
 			t.Fatal(err)
 		}
 	}

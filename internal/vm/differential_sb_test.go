@@ -52,7 +52,7 @@ func TestDifferentialSuperblockWorkloads(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				job, err := machine.SubmitJob(spec.Name, spec.MainClass, "main", nil, nil, 0, nil)
+				job, err := machine.SubmitJob(vm.JobSpec{Name: spec.Name, Class: spec.MainClass, Method: "main"})
 				if err != nil {
 					t.Fatal(err)
 				}

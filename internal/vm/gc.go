@@ -137,5 +137,15 @@ func (vm *VM) gc() {
 	}
 	vm.GCCount++
 	vm.GCCycles += cycles
+	// Bill the pause to the allocating job (the collection ran because
+	// its allocation found the heap full), the way output and compiles
+	// are already attributed — or to the unattributed bucket when the
+	// allocation happened outside any job context.
+	if j := vm.curJob; j != nil {
+		j.Stats.GCPauses++
+		j.Stats.GCCycles += cycles
+	} else {
+		vm.GCUnattributedCycles += cycles
+	}
 	_ = freedObjects
 }

@@ -23,6 +23,18 @@ type JobStats struct {
 	// triggered (entry compiles, invoke-time compiles, migration
 	// recompiles); warm code-cache lookups are free and uncounted.
 	Compiles uint64
+	// GCPauses and GCCycles count the stop-the-world collections the
+	// job's own allocations triggered and their total pause cycles.
+	// The whole pause is billed to the allocating job — the collector
+	// stalls every core, but the job whose allocation pressure forced
+	// the collection owns that time, the way output and compiles are
+	// already attributed — so SLO percentiles under concurrent jobs
+	// cannot hide collector time. Collections triggered outside any
+	// job (boot-time interning) land in VM.GCUnattributedCycles;
+	// per-job GC cycles plus the unattributed bucket always sum to
+	// VM.GCCycles.
+	GCPauses uint64
+	GCCycles uint64
 }
 
 // Job is one admitted unit of work on a booted VM: a root thread
@@ -42,6 +54,17 @@ type Job struct {
 	// CompletedAt is the cycle the job's last thread retired (0 until
 	// the job completes).
 	CompletedAt cell.Clock
+	// Deadline is the job's absolute completion deadline — AdmittedAt
+	// plus the requested relative deadline — or 0 when the submission
+	// carried none.
+	Deadline cell.Clock
+	// Verdict is the admission pipeline's decision for this job. Shed
+	// jobs never run: they are done at admission with no threads.
+	Verdict Verdict
+	// DeadlineMet reports whether the job completed by its deadline
+	// (true for completed jobs without one; always false for shed
+	// jobs). Meaningful once Done.
+	DeadlineMet bool
 
 	// Stats accumulates the job's scheduling events.
 	Stats JobStats
@@ -81,41 +104,78 @@ func (j *Job) Cycles() cell.Clock {
 // order, or nil.
 func (j *Job) Err() error { return firstTrap(j.threads) }
 
-// SubmitJob admits a job: a static entry method (with optional
-// arguments) started as a fresh root thread that becomes runnable at
-// the requested arrival cycle, floored at the machine's current clock.
-// pol, when non-nil, overrides the VM-wide placement policy for every
-// thread of the job. The job does not execute until the machine is
-// driven (WaitJob, DrainJobs, or any Run variant); admission order is
-// total — (arrival cycle, submission sequence) — so replaying the same
-// submission script reproduces the same machine byte for byte.
-func (vm *VM) SubmitJob(name, className, methodName string, args []uint64, argRefs []bool,
-	arrival cell.Clock, pol Policy) (*Job, error) {
-
-	cls := vm.Prog.Lookup(className)
+// SubmitJob runs a submission through the admission pipeline: resolve
+// the static entry method, floor the arrival at the machine's current
+// clock, and decide a verdict from the scheduler's drain estimates
+// under Config.Admission. An admitted (or delayed) job gets a fresh
+// root thread runnable at its arrival; a shed job is recorded —
+// occupying its slot in the total (arrival cycle, submission sequence)
+// admission order — but never runs, so replaying the same submission
+// script against the same driving schedule reproduces the same
+// verdicts and the same machine byte for byte. The job does not
+// execute until the machine is driven (WaitJob, DrainJobs, RunUntil,
+// or any Run variant).
+//
+// The error return is for malformed submissions (unknown class or
+// method, bad arguments); shedding is not an error — it is the
+// admission pipeline doing its job, reported through Job.Verdict.
+func (vm *VM) SubmitJob(spec JobSpec) (*Job, error) {
+	cls := vm.Prog.Lookup(spec.Class)
 	if cls == nil {
-		return nil, fmt.Errorf("vm: no class %q", className)
+		return nil, fmt.Errorf("vm: no class %q", spec.Class)
 	}
-	m := cls.MethodByName(methodName)
+	m := cls.MethodByName(spec.Method)
 	if m == nil {
-		return nil, fmt.Errorf("vm: no method %s.%s", className, methodName)
+		return nil, fmt.Errorf("vm: no method %s.%s", spec.Class, spec.Method)
 	}
 	if !m.IsStatic() {
 		return nil, fmt.Errorf("vm: entry %s must be static", m.Sig())
 	}
+	arrival := spec.Arrival
 	if now := vm.Machine.MaxClock(); arrival < now {
 		arrival = now
 	}
+	name := spec.Name
 	if name == "" {
-		name = className + "." + methodName
+		name = spec.Class + "." + spec.Method
 	}
-	j := &Job{ID: len(vm.jobs), Name: name, AdmittedAt: arrival, policy: pol}
+	var deadline cell.Clock
+	if spec.Deadline != 0 {
+		deadline = arrival + spec.Deadline
+	}
+
+	pol := spec.Policy
+	if pol == nil {
+		pol = vm.policy
+	}
+	kind := pol.PlaceThread(vm, m)
+	if !vm.Machine.HasKind(kind) {
+		kind = vm.serviceKind()
+	}
+	verdict := vm.admissionVerdict(kind, arrival, deadline)
+
+	j := &Job{ID: len(vm.jobs), Name: name, AdmittedAt: arrival,
+		Deadline: deadline, Verdict: verdict, policy: spec.Policy}
+	if verdict == VerdictShed {
+		// Shed at admission: the job is complete without ever running.
+		// It holds its place in the admission order so interleaved shed
+		// decisions cannot perturb the (arrival, sequence) total order
+		// of the jobs that did get in.
+		j.done = true
+		j.CompletedAt = arrival
+		vm.jobs = append(vm.jobs, j)
+		return j, nil
+	}
 	j.w = io.MultiWriter(vm.stdout, &j.out)
-	root, err := vm.startThread(j, name, m, arrival, args, argRefs)
+	prevJob := vm.curJob
+	vm.curJob = j
+	root, err := vm.startThread(j, name, m, arrival, spec.Args, spec.ArgRefs)
+	vm.curJob = prevJob
 	if err != nil {
 		return nil, err
 	}
 	j.root = root
+	vm.pending++
 	vm.jobs = append(vm.jobs, j)
 	return j, nil
 }
@@ -142,6 +202,19 @@ func (vm *VM) WaitJob(j *Job) error {
 // machine-level failures (deadlock) are returned.
 func (vm *VM) DrainJobs() error {
 	return vm.runWhile(func() bool { return vm.liveCount == 0 })
+}
+
+// RunUntil drives the machine until its clock reaches cycle c or no
+// live thread remains, whichever comes first. This is the open-loop
+// driver's primitive: advance simulated time to the next arrival, then
+// submit, so every admission verdict is decided against the machine
+// state that actually holds at that arrival — queues drained by then
+// are drained, backlogs built by then are visible to the drain
+// estimates. The machine steps in whole quanta, so the clock may
+// overshoot c by at most one scheduling round; the overshoot is
+// deterministic, preserving byte-identical replay.
+func (vm *VM) RunUntil(c cell.Clock) error {
+	return vm.runWhile(func() bool { return vm.Machine.MaxClock() >= c })
 }
 
 // policyFor returns the placement policy governing a thread: its job's

@@ -36,11 +36,11 @@ func TestSubmitJobsPerJobOutputAndResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ja, err := vm.SubmitJob("", "EntryA", "main", nil, nil, 0, nil)
+	ja, err := vm.SubmitJob(JobSpec{Class: "EntryA", Method: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}
-	jb, err := vm.SubmitJob("", "EntryB", "main", nil, nil, 0, nil)
+	jb, err := vm.SubmitJob(JobSpec{Class: "EntryB", Method: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestSubmitJobArgsAndArrival(t *testing.T) {
 		t.Fatal(err)
 	}
 	const arrival = 90_000
-	j, err := vm.SubmitJob("mul", "Mul", "main", []uint64{6, 7}, []bool{false, false}, arrival, nil)
+	j, err := vm.SubmitJob(JobSpec{Name: "mul", Class: "Mul", Method: "main", Args: []uint64{6, 7}, ArgRefs: []bool{false, false}, Arrival: arrival})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,12 +119,12 @@ func TestWaitJobLeavesOthersPending(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ja, err := vm.SubmitJob("", "EntryA", "main", nil, nil, 0, nil)
+	ja, err := vm.SubmitJob(JobSpec{Class: "EntryA", Method: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// EntryB arrives far after EntryA completes.
-	jb, err := vm.SubmitJob("", "EntryB", "main", nil, nil, 50_000_000, nil)
+	jb, err := vm.SubmitJob(JobSpec{Class: "EntryB", Method: "main", Arrival: 50_000_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestJobChildThreadsInheritJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	j, err := vm.SubmitJob("spawner", "Spawner", "main", nil, nil, 0, nil)
+	j, err := vm.SubmitJob(JobSpec{Name: "spawner", Class: "Spawner", Method: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,11 +199,11 @@ func TestJobPolicyOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pinned, err := vm.SubmitJob("pinned", "EntryA", "main", nil, nil, 0, FixedPolicy{Kind: isa.SPE})
+	pinned, err := vm.SubmitJob(JobSpec{Name: "pinned", Class: "EntryA", Method: "main", Policy: FixedPolicy{Kind: isa.SPE}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	def, err := vm.SubmitJob("default", "EntryB", "main", nil, nil, 0, nil)
+	def, err := vm.SubmitJob(JobSpec{Name: "default", Class: "EntryB", Method: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,11 +245,11 @@ func jobCycleCounts(t *testing.T, cfg Config) []cell.Clock {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ja, err := vm.SubmitJob("", "EntryA", "main", nil, nil, 10_000, nil)
+	ja, err := vm.SubmitJob(JobSpec{Class: "EntryA", Method: "main", Arrival: 10_000})
 	if err != nil {
 		t.Fatal(err)
 	}
-	jb, err := vm.SubmitJob("", "EntryB", "main", nil, nil, 10_000, nil)
+	jb, err := vm.SubmitJob(JobSpec{Class: "EntryB", Method: "main", Arrival: 10_000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,13 +268,13 @@ func TestFailedSubmitLeavesSessionUsable(t *testing.T) {
 		t.Fatal(err)
 	}
 	args := make([]uint64, 64)
-	if _, err := vm.SubmitJob("bad", "EntryA", "main", args, make([]bool, len(args)), 0, nil); err == nil {
+	if _, err := vm.SubmitJob(JobSpec{Name: "bad", Class: "EntryA", Method: "main", Args: args, ArgRefs: make([]bool, len(args))}); err == nil {
 		t.Fatal("oversized argument list accepted")
 	}
 	if vm.liveCount != 0 || len(vm.Jobs()) != 0 {
 		t.Fatalf("failed submit left state behind: liveCount=%d jobs=%d", vm.liveCount, len(vm.Jobs()))
 	}
-	j, err := vm.SubmitJob("", "EntryB", "main", nil, nil, 0, nil)
+	j, err := vm.SubmitJob(JobSpec{Class: "EntryB", Method: "main"})
 	if err != nil {
 		t.Fatal(err)
 	}

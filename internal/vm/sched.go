@@ -50,21 +50,13 @@ func (vm *VM) enqueue(t *Thread) {
 // times mean predicted cost per queued task, plus the core's clock
 // skew — for a thread entering that kind's pool. Ties resolve to the
 // lower queue depth, then the lowest ID, so with equal clocks the
-// choice degenerates to the classic least-loaded pick. The machine
-// must have at least one core of the kind.
+// choice degenerates to the classic least-loaded pick. The ranking is
+// sched.BestCore — the same one the admission pipeline's deadline
+// probe uses, so a verdict and the placement it predicted cannot
+// disagree. The machine must have at least one core of the kind.
 func (vm *VM) pickCore(kind isa.CoreKind) int {
-	cores := vm.kindCores[kind]
-	best := 0
-	bestDrain := vm.scheduler.DrainEstimate(cores[0].Index)
-	bestLoad := vm.scheduler.Load(cores[0].Index)
-	for i := 1; i < len(cores); i++ {
-		drain := vm.scheduler.DrainEstimate(cores[i].Index)
-		load := vm.scheduler.Load(cores[i].Index)
-		if drain < bestDrain || (drain == bestDrain && load < bestLoad) {
-			best, bestDrain, bestLoad = i, drain, load
-		}
-	}
-	return best
+	pos, _ := sched.BestCore(vm.scheduler, vm.kindCores[kind])
+	return pos
 }
 
 // place assigns a thread a core of the given kind, falling back to the
@@ -145,7 +137,7 @@ func (vm *VM) startThread(job *Job, name string, entry *classfile.Method, readyA
 // machine deadlocked. It is the one-job special case of the job API:
 // SubmitJob then drain.
 func (vm *VM) RunMain(className, methodName string) (*Thread, error) {
-	job, err := vm.SubmitJob("main", className, methodName, nil, nil, 0, nil)
+	job, err := vm.SubmitJob(JobSpec{Name: "main", Class: className, Method: methodName})
 	if err != nil {
 		return nil, err
 	}
@@ -181,6 +173,7 @@ func (vm *VM) runWhile(stop func() bool) error {
 		}
 		core.AdvanceTo(t.ReadyAt)
 		t.State = StateRunning
+		vm.curJob = t.job // GC pauses bill to the executing job
 		vm.maybeAdapt(core)
 		if t.hasPendingMigrate {
 			t.hasPendingMigrate = false
@@ -364,6 +357,7 @@ func (vm *VM) recompileEstimate(task sched.Task, to *cell.Core) (uint64, bool) {
 // warm and pays nothing.
 func (vm *VM) onMigrate(task sched.Task, from, to *cell.Core, readyAt cell.Clock) (cell.Clock, bool) {
 	t := task.(*Thread)
+	vm.curJob = t.job // recompiles may intern and allocate: bill GC here
 	// Compile everything first so a late failure cannot leave the
 	// thread half-transplanted.
 	type swap struct {
@@ -404,25 +398,49 @@ func (vm *VM) deadlockError() error {
 			blocked++
 		}
 	}
-	return fmt.Errorf("vm: deadlock: %d live threads, %d blocked, none runnable",
-		vm.liveCount, blocked)
+	return fmt.Errorf("vm: %w (%d live threads, %d blocked)",
+		ErrDeadlock, vm.liveCount, blocked)
 }
 
 // finishThread retires a terminated thread, completes its job when it
 // was the job's last live thread, and wakes its joiners after the
 // configured join hand-off latency.
+//
+// Termination is a synchronization edge (everything a thread did
+// happens-before a join on it returning), so it carries both halves of
+// the software cache coherence protocol: flush (release) the retiring
+// core's data cache so the dead thread's unsynchronised writes reach
+// main memory, and mark each woken joiner to purge (acquire) before it
+// runs, so a stale clean copy left in the joiner's core — by any
+// thread that ran there earlier — cannot shadow those writes.
 func (vm *VM) finishThread(core *cell.Core, t *Thread) {
+	if dc := vm.dcaches[core.Index]; dc != nil {
+		core.Now = dc.Flush(core.Now)
+	}
 	vm.liveCount--
 	if job := t.job; job != nil {
 		job.live--
 		if job.live == 0 && !job.done {
 			job.done = true
 			job.CompletedAt = core.Now
+			job.DeadlineMet = job.Deadline == 0 || core.Now <= job.Deadline
+			vm.pending--
+			// Feed the admission pipeline's service-time estimator: a
+			// halving EWMA of observed admission-to-completion cycles.
+			measured := uint64(job.CompletedAt - job.AdmittedAt)
+			if vm.jobServiceEWMA == 0 {
+				vm.jobServiceEWMA = measured
+			} else {
+				vm.jobServiceEWMA = (vm.jobServiceEWMA + measured) / 2
+			}
 		}
 	}
 	for _, j := range t.joiners {
 		j.State = StateReady
 		j.ReadyAt = core.Now + vm.Cfg.JoinWakeCycles
+		if j.Kind.UsesLocalStore() {
+			j.needPurge = true
+		}
 		vm.enqueue(j)
 	}
 	t.joiners = nil

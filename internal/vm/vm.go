@@ -32,6 +32,11 @@ type Config struct {
 	// Quantum is the scheduling timeslice in cycles.
 	Quantum uint64
 
+	// Admission tunes the job-admission pipeline: the bounded pending
+	// queue and deadline-based load shedding SubmitJob's verdicts come
+	// from. The zero value admits every submission.
+	Admission AdmissionConfig
+
 	// Scheduler selects the scheduling algorithm by registered name:
 	// "calendar" (the default per-core event-calendar scheduler),
 	// "steal" (the calendar plus same-kind work stealing) or "migrate"
@@ -186,6 +191,19 @@ type VM struct {
 	scheduler sched.Scheduler
 	liveCount int
 	jobs      []*Job
+	// pending counts jobs admitted but not yet completed — the
+	// admission queue depth the MaxPending backstop bounds.
+	pending int
+	// curJob is the job whose thread the driving loop is currently
+	// executing (or whose submission is being admitted); GC pauses are
+	// billed to it. nil outside any job context.
+	curJob *Job
+	// jobServiceEWMA is a halving EWMA of completed jobs' observed
+	// admission-to-completion cycles — the admission pipeline's
+	// service-time estimate (0 until the first job completes). It
+	// includes queueing delay, which deliberately biases the deadline
+	// probe pessimistic under sustained load.
+	jobServiceEWMA uint64
 
 	monitors map[Ref]*monitor
 
@@ -215,6 +233,12 @@ type VM struct {
 	// GCCount and GCCycles summarise collector activity.
 	GCCount  uint64
 	GCCycles uint64
+	// GCUnattributedCycles is the slice of GCCycles billed to no job:
+	// collections triggered by allocations outside any job context
+	// (boot-time interning, threads started through the bare
+	// StartThread). Per-job JobStats.GCCycles plus this bucket sum to
+	// GCCycles exactly.
+	GCUnattributedCycles uint64
 }
 
 // New boots a VM: builds the machine, carves main memory, lays out
