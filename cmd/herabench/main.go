@@ -18,12 +18,19 @@
 //	herabench -fig simspeed                             # simulator wall-clock: fast path on vs off
 //	herabench -fig simspeed -json BENCH_simspeed.json -baseline testdata/BENCH_simspeed_baseline.json
 //	herabench -fig simspeed -nowall                     # deterministic columns only (replay gates)
+//	herabench -fig cluster                              # N parallel shards vs serial advancement
+//	herabench -fig cluster -shards "ppe:1,spe:6;ppe:1,spe:4,vpu:2"  # heterogeneous fleet
+//	herabench -fig cluster -json BENCH_cluster.json -clustermin 2.0 # CI scaling gate
+//	herabench -fig cluster -timeout 10m -cpuprofile cpu.pprof       # guarded + profiled
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"herajvm/internal/cell"
@@ -35,14 +42,18 @@ type table interface{ Table() string }
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | topo | steal | migrate | serve | simspeed | all")
+		fig   = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | topo | steal | migrate | serve | simspeed | cluster | all")
 		full  = flag.Bool("full", false, "paper-shaped workload sizes (slower)")
 		sched = flag.String("sched", "", "scheduler for every run: calendar | steal | migrate (default: calendar)")
 		topos = flag.String("topology", "",
 			`semicolon-separated machine shapes for the topo/steal/migrate/serve sweeps, e.g. "ppe:1,spe:6;ppe:1,spe:4,vpu:2"`)
-		nowall   = flag.Bool("nowall", false, "simspeed: omit wall-clock columns so output replays byte for byte")
-		jsonPath = flag.String("json", "", "write the simspeed or serve sweep as JSON (BENCH_*.json shape) to this path")
+		nowall   = flag.Bool("nowall", false, "simspeed/cluster: omit wall-clock columns so output replays byte for byte")
+		jsonPath = flag.String("json", "", "write the simspeed, serve or cluster sweep as JSON (BENCH_*.json shape) to this path")
 		baseline = flag.String("baseline", "", "simspeed: compare speedups against this baseline JSON; exit 1 on regression")
+		minscale = flag.Float64("clustermin", 0, "cluster: minimum parallel-vs-serial wall-clock speedup; exit 1 below it (0 = no gate)")
+		timeout  = flag.Duration("timeout", 0, "fail any figure still running after this long instead of hanging (0 = no limit)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this path")
+		memprof  = flag.String("memprofile", "", "write a heap profile (taken after the figure runs) to this path")
 		verb     = flag.Bool("v", false, "log per-run progress to stderr")
 	)
 	serveFlags := experiments.BindServeFlags(flag.CommandLine)
@@ -56,7 +67,10 @@ func main() {
 		opt.Progress = os.Stderr
 	}
 	opt.Scheduler = *sched
-	serveFlags.Apply(&opt)
+	if err := serveFlags.Apply(&opt); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	opt.NoWall = *nowall
 	if *topos != "" {
 		list, err := cell.ParseTopologyList(*topos)
@@ -66,15 +80,49 @@ func main() {
 		}
 		opt.Topologies = list
 	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opt.Ctx = ctx
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		path := *memprof
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	type experiment struct {
 		id  string
 		run func(experiments.Options) (table, error)
 	}
-	// simspeed's and serve's results are kept concrete for the -json /
-	// -baseline post-processing below.
+	// simspeed's, serve's and cluster's results are kept concrete for
+	// the -json / -baseline / -clustermin post-processing below.
 	var simspeed *experiments.SimSpeed
 	var serve *experiments.ServeSweep
+	var clusterSweep *experiments.ClusterSweep
 	all := []experiment{
 		{"4a", func(o experiments.Options) (table, error) { return experiments.RunFig4a(o) }},
 		{"4b", func(o experiments.Options) (table, error) { return experiments.RunFig4b(o) }},
@@ -102,6 +150,13 @@ func main() {
 			}
 			return s, err
 		}},
+		{"cluster", func(o experiments.Options) (table, error) {
+			s, err := experiments.RunCluster(o)
+			if err == nil {
+				clusterSweep = s
+			}
+			return s, err
+		}},
 	}
 
 	want := strings.ToLower(*fig)
@@ -123,8 +178,9 @@ func main() {
 		os.Exit(2)
 	}
 
-	// -json writes whichever JSON-bearing sweep ran; simspeed wins when
-	// both did (fig=all), keeping the existing bench pipeline's shape.
+	// -json writes whichever JSON-bearing sweep ran; with fig=all the
+	// priority is simspeed > serve > cluster, keeping the existing
+	// bench pipeline's shape.
 	if *jsonPath != "" && simspeed == nil && serve != nil {
 		out, err := serve.JSON()
 		if err == nil {
@@ -133,6 +189,25 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve json: %v\n", err)
 			os.Exit(1)
+		}
+	}
+	if clusterSweep != nil {
+		if *jsonPath != "" && simspeed == nil && serve == nil {
+			out, err := clusterSweep.JSON()
+			if err == nil {
+				err = os.WriteFile(*jsonPath, out, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cluster json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *minscale > 0 {
+			if err := clusterSweep.CheckSpeedup(*minscale); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println("cluster scaling gate: ok")
 		}
 	}
 	if simspeed != nil {

@@ -23,6 +23,14 @@
 //
 //	herajvm -workload compress -sched migrate -trace poisson -jobs 12
 //	herajvm -workload mandelbrot -trace bursty -jobs 8 -seed 7
+//
+// With -shards set, the trace is served by a cluster instead of one
+// machine: each shard is a full System (its own topology, scheduler,
+// admission pipeline) and a dispatcher routes every arrival to the
+// shard predicting the earliest completion, shedding only when no
+// shard can meet the deadline:
+//
+//	herajvm -workload compress -shards "ppe:1,spe:4,vpu:2;ppe:1,spe:6" -jobs 16
 package main
 
 import (
@@ -73,13 +81,26 @@ func main() {
 	}
 
 	// Serve mode: play an open-loop arrival trace of this workload
-	// through the admission pipeline instead of one one-shot run.
-	if serveFlags.Jobs > 0 || serveFlags.Trace != "" {
+	// through the admission pipeline instead of one one-shot run. With
+	// -shards the trace is dispatched across a cluster of Systems.
+	if serveFlags.Jobs > 0 || serveFlags.Trace != "" || serveFlags.Shards != "" {
 		opt := experiments.Quick()
-		serveFlags.Apply(&opt)
+		if err := serveFlags.Apply(&opt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		opt.Scheduler = *sched
 		opt.Topologies = []hera.Topology{topo}
 		opt.ServeWorkloads = []string{*workload}
+		if serveFlags.Shards != "" {
+			sweep, err := experiments.RunCluster(opt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Print(sweep.Table())
+			return
+		}
 		sweep, err := experiments.RunServe(opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -49,11 +49,22 @@
 // SPEs; unannotated programs run correctly regardless of placement.
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // reproduction of the paper's figures.
+//
+// Above the single System sits the cluster layer: BootCluster starts N
+// independent shards — each a full System with its own topology,
+// scheduler and admission config — and a dispatcher that routes every
+// submission to the shard predicting the earliest completion, shedding
+// only when no shard can take it. Shards advance concurrently on their
+// own goroutines under a conservative epoch barrier, so the simulation
+// scales wall-clock with host cores while the merged result stream
+// stays byte-identical to serial advancement (see
+// docs/ARCHITECTURE.md, "Cluster layer").
 package hera
 
 import (
 	"herajvm/internal/cell"
 	"herajvm/internal/classfile"
+	"herajvm/internal/cluster"
 	"herajvm/internal/core"
 	"herajvm/internal/experiments"
 	"herajvm/internal/isa"
@@ -283,6 +294,34 @@ func DefaultMonitoringPolicy() *MonitoringPolicy { return vm.DefaultMonitoringPo
 // NewSystem boots a Hera-JVM for the program.
 func NewSystem(cfg Config, prog *Program) (*System, error) {
 	return core.NewSystem(cfg, prog)
+}
+
+// The cluster layer: N shards behind a drain-routed dispatcher.
+type (
+	// Cluster is a booted shard fleet; Submit routes jobs, Drain runs
+	// every shard to completion, Results returns the merged stream.
+	Cluster = cluster.Cluster
+	// ClusterConfig tunes the fleet: epoch stride, serial vs parallel
+	// shard advancement, dispatcher-level deadline shedding, and an
+	// optional context that aborts wedged epochs.
+	ClusterConfig = cluster.Config
+	// ShardConfig describes one shard: its VM config plus a builder
+	// for its own program instance (shards share no mutable state, so
+	// each must build its own copy).
+	ShardConfig = cluster.ShardConfig
+	// Shard is one booted member of a Cluster.
+	Shard = cluster.Shard
+	// ClusterJob is one dispatched (or dispatcher-shed) submission.
+	ClusterJob = cluster.Job
+	// ClusterResult is one entry of the merged result stream.
+	ClusterResult = cluster.Result
+)
+
+// BootCluster boots a shard fleet: each ShardConfig's Build constructs
+// that shard's program and its VM boots with the shard's own config —
+// topologies, schedulers and admission settings may differ per shard.
+func BootCluster(cfg ClusterConfig, shards []ShardConfig) (*Cluster, error) {
+	return cluster.Boot(cfg, shards)
 }
 
 // Benchmarks and experiments.

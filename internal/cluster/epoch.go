@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"herajvm/internal/cell"
+)
+
+// The epoch engine. An epoch advances every shard to one boundary
+// cycle and then synchronizes; boundaries are admission arrivals plus
+// stride-spaced ticks between them. Shards share no simulated state,
+// so the only ordering that matters is barrier-to-dispatcher: every
+// dispatcher decision reads shard state with all shard goroutines
+// parked, and the WaitGroup gives the happens-before edge the race
+// detector demands. A shard's RunUntil may overshoot the boundary by
+// at most one scheduling quantum — deterministically, which is why
+// replay is byte-identical however the epochs are executed.
+
+// AdvanceTo drives every shard to the target cycle, taking an epoch
+// barrier at least every EpochStride cycles. It is the dispatcher's
+// pre-admission step and is exported for open-loop drivers that want
+// to advance cluster time without submitting.
+func (c *Cluster) AdvanceTo(target cell.Clock) error {
+	for c.horizon < target {
+		next := c.horizon + c.cfg.EpochStride
+		if next > target {
+			next = target
+		}
+		if err := c.epoch(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Drain advances the cluster, one epoch stride at a time, until every
+// shard is idle. Per-job traps stay on the jobs; only machine-level
+// failures (a deadlocked shard, a cancelled Ctx) are returned.
+func (c *Cluster) Drain() error {
+	for c.live() {
+		if err := c.epoch(c.horizon + c.cfg.EpochStride); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// live reports whether any shard still has live threads.
+func (c *Cluster) live() bool {
+	for _, s := range c.shards {
+		if s.Sys.LiveThreads() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// epoch advances every shard to the boundary and synchronizes. With
+// Serial set the shards advance one at a time on the calling
+// goroutine; otherwise each shard advances on its own goroutine and
+// the barrier is a WaitGroup wait, guarded by Ctx so a wedged shard
+// fails the run instead of hanging it.
+func (c *Cluster) epoch(boundary cell.Clock) error {
+	c.barriers++
+	c.horizon = boundary
+	if c.cfg.Serial {
+		for _, s := range c.shards {
+			if err := c.interrupted(); err != nil {
+				return err
+			}
+			if err := s.Sys.RunUntil(boundary); err != nil {
+				return fmt.Errorf("cluster: shard %d: %w", s.ID, err)
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(c.shards))
+	var wg sync.WaitGroup
+	for i, s := range c.shards {
+		wg.Add(1)
+		go func(i int, s *Shard) {
+			defer wg.Done()
+			errs[i] = s.Sys.RunUntil(boundary)
+		}(i, s)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-c.ctxDone():
+		// Shard goroutines may still be running; the run is failing, so
+		// leaking them until process exit beats blocking CI forever.
+		return fmt.Errorf("cluster: epoch barrier at cycle %d: %w", boundary, c.cfg.Ctx.Err())
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// interrupted reports the guard context's error, if it has one.
+func (c *Cluster) interrupted() error {
+	if c.cfg.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-c.cfg.Ctx.Done():
+		return fmt.Errorf("cluster: %w", c.cfg.Ctx.Err())
+	default:
+		return nil
+	}
+}
+
+// ctxDone returns the guard context's done channel, or a nil channel
+// (which blocks forever) when no guard is configured.
+func (c *Cluster) ctxDone() <-chan struct{} {
+	if c.cfg.Ctx == nil {
+		return nil
+	}
+	return c.cfg.Ctx.Done()
+}

@@ -107,6 +107,31 @@ func (s *System) Submit(req JobRequest) (*Job, Verdict, error) {
 	return j, inner.Verdict, nil
 }
 
+// Probe evaluates the admission pipeline's completion probe for a
+// request without admitting anything: the predicted completion cycle
+// of a job arriving at req.Arrival (floored at the machine clock),
+// from the scheduler's drain estimates and the session's observed
+// per-job service EWMA, plus whether the bounded pending queue has
+// room for it. A cluster dispatcher probes every shard this way at an
+// epoch barrier and routes the request to the lowest predicted
+// completion. Probing is side-effect free.
+func (s *System) Probe(req JobRequest) (completion cell.Clock, room bool, err error) {
+	return s.VM.ProbeJob(vm.JobSpec{
+		Class:   req.Class,
+		Method:  req.Method,
+		Arrival: req.Arrival,
+		Policy:  req.Policy,
+	})
+}
+
+// PendingJobs reports the admission queue depth: jobs admitted but not
+// yet completed.
+func (s *System) PendingJobs() int { return s.VM.PendingJobs() }
+
+// LiveThreads reports the number of live threads on the machine — zero
+// means the session is idle and driving it is a no-op.
+func (s *System) LiveThreads() int { return s.VM.LiveThreads() }
+
 // Jobs returns the session's submitted jobs in admission order.
 func (s *System) Jobs() []*Job {
 	out := make([]*Job, len(s.jobs))

@@ -1,0 +1,427 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/classfile"
+	"herajvm/internal/cluster"
+	"herajvm/internal/core"
+	"herajvm/internal/vm"
+	"herajvm/internal/workloads"
+)
+
+// The cluster figure measures the sharding layer end to end: one
+// open-loop arrival script (the serve driver's traces) played through
+// a drain-routed dispatcher over N System shards, first with the
+// shards advanced serially on one goroutine, then with each shard on
+// its own goroutine under the epoch barrier — the same simulation
+// twice, differing only in host parallelism. It reports the SLO view
+// of the merged result stream (goodput, p50/p95/p99, shed count),
+// per-shard routing and utilization, the wall-clock speedup of
+// parallel over serial (the number the CI gate asserts ≥2x at 4
+// shards on a 4-core runner), and an epoch-stride sensitivity table:
+// barrier count, speedup and fidelity per stride, so the stride
+// default is tuned from measurements, not guesses. Fidelity means the
+// merged job table is byte-identical — serial vs parallel, replay vs
+// replay, stride vs stride.
+
+const (
+	defaultClusterShards   = 4
+	defaultClusterJobs     = 24
+	defaultClusterCadence  = 200_000
+	defaultClusterDeadline = 100_000_000
+	// defaultClusterScheduler is the per-shard scheduler: migrate is
+	// the strongest serving scheduler (PR 5's serve sweep), and the
+	// cluster story is "many of the best machines".
+	defaultClusterScheduler = "migrate"
+)
+
+// clusterStrides are the epoch strides the sensitivity table visits
+// (the middle one is cluster.DefaultEpochStride).
+var clusterStrides = []cell.Clock{500_000, cluster.DefaultEpochStride, 8_000_000}
+
+// ClusterRun is one full pass of the arrival script over the fleet.
+type ClusterRun struct {
+	// Mode is "serial" or "parallel"; Stride the epoch stride used.
+	Mode   string     `json:"mode"`
+	Stride cell.Clock `json:"stride_cycles"`
+	// Barriers counts epoch barriers the pass took.
+	Barriers int `json:"barriers"`
+	// WallSecs is host seconds for the pass (submission through drain).
+	WallSecs float64 `json:"wall_secs"`
+	// Makespan is the simulated cycle the last job completed.
+	Makespan cell.Clock `json:"makespan_cycles"`
+	// P50/P95/P99 are admission→completion latency percentiles over
+	// completed jobs; Completed/Shed/Met split the script.
+	P50       cell.Clock `json:"p50_cycles"`
+	P95       cell.Clock `json:"p95_cycles"`
+	P99       cell.Clock `json:"p99_cycles"`
+	Completed int        `json:"completed"`
+	Shed      int        `json:"shed"`
+	Met       int        `json:"met"`
+	// Goodput is deadline-met jobs per simulated second.
+	Goodput float64 `json:"goodput_per_sec"`
+	// ShardJobs and ShardUtil are per-shard routing counts and core
+	// utilization — the dispatcher's balance, made visible.
+	ShardJobs []int     `json:"shard_jobs"`
+	ShardUtil []float64 `json:"shard_util"`
+	// AllValid reports every completed job's checksum matched its Go
+	// reference.
+	AllValid bool `json:"all_valid"`
+	// Identical reports the pass's merged job table was byte-identical
+	// to the serial reference pass — the determinism contract, checked
+	// on every pass.
+	Identical bool `json:"identical"`
+
+	jobsTable string
+}
+
+// ClusterSweep is the figure: the serial reference pass, the parallel
+// pass the speedup is quoted from, and the stride table.
+type ClusterSweep struct {
+	Shards    []string   `json:"shards"`
+	Scheduler string     `json:"scheduler"`
+	NumJobs   int        `json:"jobs"`
+	Cadence   uint64     `json:"cadence_cycles"`
+	Trace     string     `json:"trace"`
+	Seed      uint64     `json:"seed"`
+	Deadline  cell.Clock `json:"deadline_cycles"`
+	// HostCPUs is runtime.NumCPU() — the ceiling any wall-clock
+	// speedup is read against.
+	HostCPUs int `json:"host_cpus"`
+	// Serial and Parallel are the two passes at the default stride;
+	// Speedup is Serial.WallSecs / Parallel.WallSecs.
+	Serial   ClusterRun `json:"serial"`
+	Parallel ClusterRun `json:"parallel"`
+	Speedup  float64    `json:"speedup"`
+	// StrideRuns are parallel passes at the other strides.
+	StrideRuns []ClusterRun `json:"stride_runs"`
+	// NoWall omits host-timing columns from Table so the output is
+	// byte-for-byte replayable.
+	NoWall bool `json:"-"`
+}
+
+// DefaultClusterShards returns the default fleet: four serve-shaped
+// shards (ppe:1,spe:4,vpu:2 each).
+func DefaultClusterShards() []cell.Topology {
+	topos := make([]cell.Topology, defaultClusterShards)
+	for i := range topos {
+		topos[i] = DefaultServeTopology()
+	}
+	return topos
+}
+
+// RunCluster executes the cluster figure. Options: ShardTopos sets the
+// fleet (default four serve shards), Scheduler the per-shard scheduler
+// (default migrate), EpochStride the default stride, and the serve
+// flags (jobs/cadence/trace/seed/deadline) the arrival script.
+func RunCluster(opt Options) (*ClusterSweep, error) {
+	topos := opt.ShardTopos
+	if len(topos) == 0 {
+		topos = DefaultClusterShards()
+	}
+	scheduler := opt.Scheduler
+	if scheduler == "" {
+		scheduler = defaultClusterScheduler
+	}
+	numJobs := opt.ServeJobs
+	if numJobs <= 0 {
+		numJobs = defaultClusterJobs
+	}
+	cadence := opt.ServeCadence
+	if cadence == 0 {
+		cadence = defaultClusterCadence
+	}
+	trace := opt.ServeTrace
+	if trace == "" {
+		trace = defaultServeTrace
+	}
+	seed := opt.ServeSeed
+	if seed == 0 {
+		seed = defaultServeSeed
+	}
+	deadline := opt.ServeDeadline
+	if deadline == 0 {
+		deadline = defaultClusterDeadline
+	}
+	stride := cluster.DefaultEpochStride
+	if opt.EpochStride != 0 {
+		stride = cell.Clock(opt.EpochStride)
+	}
+
+	arrivals, err := Arrivals(trace, seed, numJobs, cadence)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := serveEntries(opt, numJobs)
+	if err != nil {
+		return nil, err
+	}
+
+	out := &ClusterSweep{Scheduler: scheduler, NumJobs: numJobs, Cadence: cadence,
+		Trace: trace, Seed: seed, Deadline: deadline,
+		HostCPUs: runtime.NumCPU(), NoWall: opt.NoWall}
+	for _, t := range topos {
+		out.Shards = append(out.Shards, t.String())
+	}
+
+	play := func(serial bool, s cell.Clock) (ClusterRun, error) {
+		if err := opt.interrupted(); err != nil {
+			return ClusterRun{}, err
+		}
+		return playCluster(opt, topos, scheduler, entries, arrivals, deadline, s, serial)
+	}
+
+	if out.Serial, err = play(true, stride); err != nil {
+		return nil, err
+	}
+	out.Serial.Identical = true // the reference pass
+	opt.logf("cluster serial: %.3fs, %d barriers, goodput=%.2f/s", out.Serial.WallSecs,
+		out.Serial.Barriers, out.Serial.Goodput)
+	if out.Parallel, err = play(false, stride); err != nil {
+		return nil, err
+	}
+	out.Parallel.Identical = out.Parallel.jobsTable == out.Serial.jobsTable
+	if out.Parallel.WallSecs > 0 {
+		out.Speedup = out.Serial.WallSecs / out.Parallel.WallSecs
+	}
+	opt.logf("cluster parallel: %.3fs (%.2fx on %d CPUs), identical=%v",
+		out.Parallel.WallSecs, out.Speedup, out.HostCPUs, out.Parallel.Identical)
+
+	for _, s := range clusterStrides {
+		if s == stride {
+			continue
+		}
+		run, err := play(false, s)
+		if err != nil {
+			return nil, err
+		}
+		// Fidelity: barrier placement must not perturb the simulation —
+		// the merged job table is stride-invariant by contract.
+		run.Identical = run.jobsTable == out.Serial.jobsTable
+		opt.logf("cluster stride %d: %d barriers, %.3fs, identical=%v",
+			s, run.Barriers, run.WallSecs, run.Identical)
+		out.StrideRuns = append(out.StrideRuns, run)
+	}
+	sort.Slice(out.StrideRuns, func(a, b int) bool {
+		return out.StrideRuns[a].Stride < out.StrideRuns[b].Stride
+	})
+	return out, nil
+}
+
+// serveEntries builds the round-robin workload mix the serve and
+// cluster drivers share.
+func serveEntries(opt Options, numJobs int) ([]workloads.MixEntry, error) {
+	specs := workloads.All()
+	if len(opt.ServeWorkloads) > 0 {
+		specs = specs[:0:0]
+		for _, name := range opt.ServeWorkloads {
+			spec, err := workloads.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, spec)
+		}
+	}
+	entries := make([]workloads.MixEntry, numJobs)
+	for i := range entries {
+		spec := specs[i%len(specs)]
+		scale := serveScales[spec.Name]
+		if v, ok := opt.ScaleOverride[spec.Name]; ok && v > 0 {
+			scale = v
+		}
+		entries[i] = workloads.MixEntry{Spec: spec, Threads: serveThreads, Scale: scale}
+	}
+	return entries, nil
+}
+
+// playCluster boots one fleet and plays the arrival script through the
+// dispatcher, timing submission through drain (boot and program
+// building excluded, as in the simspeed sweep).
+func playCluster(opt Options, topos []cell.Topology, scheduler string,
+	entries []workloads.MixEntry, arrivals []cell.Clock,
+	deadline, stride cell.Clock, serial bool) (ClusterRun, error) {
+
+	shards := make([]cluster.ShardConfig, len(topos))
+	for i, topo := range topos {
+		cfg := vm.DefaultConfig()
+		cfg.Machine.Topology = topo
+		cfg.Scheduler = scheduler
+		shards[i] = cluster.ShardConfig{
+			Cfg:   cfg,
+			Build: func() (*classfile.Program, error) { return workloads.BuildMix(entries) },
+		}
+	}
+	cl, err := cluster.Boot(cluster.Config{
+		EpochStride: stride, Serial: serial, Shed: true, Ctx: opt.Ctx}, shards)
+	if err != nil {
+		return ClusterRun{}, err
+	}
+
+	mode := "parallel"
+	if serial {
+		mode = "serial"
+	}
+	runtime.GC() // keep host collector pauses out of the timed region
+	t0 := time.Now()
+	for i, arrival := range arrivals {
+		e := entries[i]
+		if _, _, err := cl.Submit(core.JobRequest{
+			Class:    e.MainClassOf(i),
+			Method:   "main",
+			Name:     fmt.Sprintf("%s#%d", e.Spec.Name, i),
+			Arrival:  arrival,
+			Deadline: deadline,
+		}); err != nil {
+			return ClusterRun{}, fmt.Errorf("cluster %s: job %d: %w", mode, i, err)
+		}
+	}
+	if err := cl.Drain(); err != nil {
+		return ClusterRun{}, fmt.Errorf("cluster %s: %w", mode, err)
+	}
+	wall := time.Since(t0)
+
+	results, err := cl.Results()
+	if err != nil {
+		return ClusterRun{}, fmt.Errorf("cluster %s: %w", mode, err)
+	}
+	run := ClusterRun{Mode: mode, Stride: stride, Barriers: cl.Barriers(),
+		WallSecs: wall.Seconds(), AllValid: true}
+	var latencies []cell.Clock
+	for _, r := range results {
+		if r.Err != nil {
+			return ClusterRun{}, fmt.Errorf("cluster %s: job %d trapped: %w", mode, r.Seq, r.Err)
+		}
+		if r.Res.Shed {
+			run.Shed++
+			continue
+		}
+		e := entries[r.Seq]
+		run.Completed++
+		run.AllValid = run.AllValid &&
+			int32(uint32(r.Res.Value)) == e.Spec.Reference(e.Threads, e.Scale)
+		latencies = append(latencies, r.Res.Cycles)
+		if r.Res.DeadlineMet {
+			run.Met++
+		}
+		if r.Res.CompletedAt > run.Makespan {
+			run.Makespan = r.Res.CompletedAt
+		}
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	run.P50 = percentile(latencies, 50)
+	run.P95 = percentile(latencies, 95)
+	run.P99 = percentile(latencies, 99)
+	if run.Makespan > 0 {
+		hz := vm.DefaultConfig().Machine.EffectiveClockHz()
+		run.Goodput = float64(run.Met) / (float64(run.Makespan) / hz)
+	}
+	for _, s := range cl.Shards() {
+		run.ShardJobs = append(run.ShardJobs, s.Routed)
+		run.ShardUtil = append(run.ShardUtil, s.Utilization())
+	}
+	if run.jobsTable, err = cl.JobsTable(); err != nil {
+		return ClusterRun{}, err
+	}
+	return run, nil
+}
+
+// Table renders the figure. With NoWall only deterministic columns
+// print (no wall seconds, no speedup), so the CI determinism gate can
+// replay the figure byte for byte.
+func (s *ClusterSweep) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cluster: %d shards [%s], sched %s, %d jobs, %s trace (seed %d), gap %d, deadline %d\n",
+		len(s.Shards), strings.Join(s.Shards, "; "), s.Scheduler,
+		s.NumJobs, s.Trace, s.Seed, s.Cadence, s.Deadline)
+
+	rows := append([]ClusterRun{s.Serial, s.Parallel}, s.StrideRuns...)
+	if s.NoWall {
+		fmt.Fprintf(&b, "%-9s %10s %8s %5s %4s %4s %10s %12s %12s %6s %9s\n",
+			"mode", "stride", "barriers", "done", "shed", "met", "goodput/s", "p50", "p99", "valid", "identical")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%-9s %10d %8d %5d %4d %4d %10.2f %12d %12d %6v %9v\n",
+				r.Mode, r.Stride, r.Barriers, r.Completed, r.Shed, r.Met,
+				r.Goodput, r.P50, r.P99, r.AllValid, r.Identical)
+		}
+	} else {
+		fmt.Fprintf(&b, "%-9s %10s %8s %5s %4s %4s %10s %12s %12s %8s %6s %9s\n",
+			"mode", "stride", "barriers", "done", "shed", "met", "goodput/s", "p50", "p99", "wall s", "valid", "identical")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%-9s %10d %8d %5d %4d %4d %10.2f %12d %12d %8.3f %6v %9v\n",
+				r.Mode, r.Stride, r.Barriers, r.Completed, r.Shed, r.Met,
+				r.Goodput, r.P50, r.P99, r.WallSecs, r.AllValid, r.Identical)
+		}
+		fmt.Fprintf(&b, "wall-clock speedup (parallel vs serial, %d shards on %d host CPUs): %.2fx\n",
+			len(s.Shards), s.HostCPUs, s.Speedup)
+	}
+
+	fmt.Fprintf(&b, "per-shard routing (parallel run):\n")
+	for i := range s.Shards {
+		fmt.Fprintf(&b, "  shard %d %-24s jobs=%-3d util=%.3f\n",
+			i, s.Shards[i], s.Parallel.ShardJobs[i], s.Parallel.ShardUtil[i])
+	}
+
+	// The stride record: how the epoch-barrier default was chosen.
+	fmt.Fprintf(&b, "epoch-stride sensitivity (fidelity = merged job table byte-identical to serial reference):\n")
+	if s.NoWall {
+		fmt.Fprintf(&b, "  %10s %8s %9s\n", "stride", "barriers", "identical")
+		for _, r := range rows[1:] {
+			fmt.Fprintf(&b, "  %10d %8d %9v\n", r.Stride, r.Barriers, r.Identical)
+		}
+	} else {
+		fmt.Fprintf(&b, "  %10s %8s %8s %9s\n", "stride", "barriers", "speedup", "identical")
+		for _, r := range rows[1:] {
+			sp := 0.0
+			if r.WallSecs > 0 {
+				sp = s.Serial.WallSecs / r.WallSecs
+			}
+			fmt.Fprintf(&b, "  %10d %8d %7.2fx %9v\n", r.Stride, r.Barriers, sp, r.Identical)
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the sweep in the BENCH_cluster.json shape.
+func (s *ClusterSweep) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// CheckSpeedup is the CI scaling gate: an error when the parallel
+// pass's wall-clock speedup fell below min, or when any pass's merged
+// results diverged or mismatched their references. The speedup is a
+// dimensionless host ratio, so the gate survives faster or slower
+// runners — but it does assume the runner has at least as many CPUs
+// as the gate expects shards to spread over.
+func (s *ClusterSweep) CheckSpeedup(min float64) error {
+	var problems []string
+	for _, r := range append([]ClusterRun{s.Serial, s.Parallel}, s.StrideRuns...) {
+		if !r.Identical {
+			problems = append(problems,
+				fmt.Sprintf("%s pass (stride %d): merged results diverged from serial reference", r.Mode, r.Stride))
+		}
+		if !r.AllValid {
+			problems = append(problems,
+				fmt.Sprintf("%s pass (stride %d): checksum mismatch vs reference", r.Mode, r.Stride))
+		}
+	}
+	if s.Speedup < min {
+		problems = append(problems, fmt.Sprintf(
+			"parallel speedup %.2fx below gate %.2fx (%d shards, %d host CPUs)",
+			s.Speedup, min, len(s.Shards), s.HostCPUs))
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("cluster gate:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}

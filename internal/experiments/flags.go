@@ -3,12 +3,15 @@ package experiments
 import (
 	"flag"
 	"strings"
+
+	"herajvm/internal/cell"
 )
 
-// ServeFlags is the shared CLI surface of the open-loop serve driver,
-// so `herabench` and `herajvm` expose identical -jobs/-cadence/-trace/
-// -seed/-deadline/-maxpending knobs with identical semantics and help
-// text, the way hera.Schedulers() already unifies -sched discovery.
+// ServeFlags is the shared CLI surface of the open-loop serve driver
+// and the cluster layer above it, so `herabench` and `herajvm` expose
+// identical -jobs/-cadence/-trace/-seed/-deadline/-maxpending/-shards/
+// -stride knobs with identical semantics and help text, the way
+// hera.Schedulers() already unifies -sched discovery.
 type ServeFlags struct {
 	Jobs       int
 	Cadence    uint64
@@ -16,6 +19,11 @@ type ServeFlags struct {
 	Seed       uint64
 	Deadline   uint64
 	MaxPending int
+	// Shards is the cluster fleet spec, one topology per shard
+	// ("ppe:1,spe:6;ppe:1,spe:4,vpu:2"); Stride the epoch-barrier
+	// stride in cycles.
+	Shards string
+	Stride uint64
 }
 
 // BindServeFlags registers the serve driver's flags on a flag set and
@@ -29,15 +37,28 @@ func BindServeFlags(fs *flag.FlagSet) *ServeFlags {
 	fs.Uint64Var(&f.Seed, "seed", 0, "serve: arrival-trace PRNG seed (0 = default)")
 	fs.Uint64Var(&f.Deadline, "deadline", 0, "serve: per-job completion deadline in cycles relative to admission (0 = default)")
 	fs.IntVar(&f.MaxPending, "maxpending", 0, "serve: admission queue-depth backstop for shedding runs (0 = default)")
+	fs.StringVar(&f.Shards, "shards", "",
+		`cluster: semicolon-separated per-shard machine shapes, e.g. "ppe:1,spe:6;ppe:1,spe:4,vpu:2" ("" = four default serve shards)`)
+	fs.Uint64Var(&f.Stride, "stride", 0, "cluster: epoch-barrier stride in cycles (0 = default)")
 	return f
 }
 
-// Apply copies the bound flag values into experiment options.
-func (f *ServeFlags) Apply(o *Options) {
+// Apply copies the bound flag values into experiment options. The
+// error is a malformed -shards list.
+func (f *ServeFlags) Apply(o *Options) error {
 	o.ServeJobs = f.Jobs
 	o.ServeCadence = f.Cadence
 	o.ServeTrace = f.Trace
 	o.ServeSeed = f.Seed
 	o.ServeDeadline = f.Deadline
 	o.ServeMaxPending = f.MaxPending
+	o.EpochStride = f.Stride
+	if f.Shards != "" {
+		list, err := cell.ParseTopologyList(f.Shards)
+		if err != nil {
+			return err
+		}
+		o.ShardTopos = list
+	}
+	return nil
 }

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -53,6 +54,18 @@ type Options struct {
 	// ServeWorkloads restricts the serve mix to the named workloads
 	// (round-robin; nil = all three).
 	ServeWorkloads []string
+	// ShardTopos lists the cluster sweep's per-shard machine shapes
+	// (the -shards flag; nil = four default serve-shaped shards).
+	ShardTopos []cell.Topology
+	// EpochStride overrides the cluster's epoch-barrier stride in
+	// cycles (0 = cluster.DefaultEpochStride).
+	EpochStride uint64
+	// Ctx, when non-nil, is the shared timeout guard every figure
+	// runner honours: runners check it between runs (and the cluster
+	// epoch engine at every barrier), so a wedged run fails with the
+	// context's error instead of hanging CI. herabench wires -timeout
+	// to it.
+	Ctx context.Context
 	// NoWall suppresses wall-clock columns in tables whose rows carry
 	// host timings (the simspeed sweep), so their output is replayable
 	// byte for byte in the determinism gates.
@@ -89,6 +102,21 @@ func (o Options) scale(s workloads.Spec) int {
 func (o Options) logf(format string, args ...any) {
 	if o.Progress != nil {
 		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// interrupted reports the shared timeout guard's error once it fires;
+// figure runners call it between runs so a timed-out sweep stops at
+// the next run boundary.
+func (o Options) interrupted() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return fmt.Errorf("experiments: %w", o.Ctx.Err())
+	default:
+		return nil
 	}
 }
 
@@ -145,6 +173,9 @@ func runOneInspect(opt Options, spec workloads.Spec, threads, scale, numSPEs int
 func runOnTopology(opt Options, spec workloads.Spec, threads, scale int, topo cell.Topology,
 	mutate func(*vm.Config), inspect func(*vm.VM)) (RunStats, error) {
 
+	if err := opt.interrupted(); err != nil {
+		return RunStats{}, err
+	}
 	prog, err := spec.Build(threads, scale)
 	if err != nil {
 		return RunStats{}, err

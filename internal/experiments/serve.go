@@ -179,31 +179,18 @@ func RunServe(opt Options) (*ServeSweep, error) {
 		return nil, err
 	}
 
-	specs := workloads.All()
-	if len(opt.ServeWorkloads) > 0 {
-		specs = specs[:0:0]
-		for _, name := range opt.ServeWorkloads {
-			spec, err := workloads.ByName(name)
-			if err != nil {
-				return nil, err
-			}
-			specs = append(specs, spec)
-		}
-	}
-	entries := make([]workloads.MixEntry, numJobs)
-	for i := range entries {
-		spec := specs[i%len(specs)]
-		scale := serveScales[spec.Name]
-		if v, ok := opt.ScaleOverride[spec.Name]; ok && v > 0 {
-			scale = v
-		}
-		entries[i] = workloads.MixEntry{Spec: spec, Threads: serveThreads, Scale: scale}
+	entries, err := serveEntries(opt, numJobs)
+	if err != nil {
+		return nil, err
 	}
 
 	out := &ServeSweep{Topology: topo.String(), NumJobs: numJobs, Cadence: cadence,
 		Trace: trace, Seed: seed, Deadline: deadline, MaxPending: maxPending}
 	for _, name := range schedulers {
 		for _, shed := range []bool{false, true} {
+			if err := opt.interrupted(); err != nil {
+				return nil, err
+			}
 			run, err := runServeOnce(name, topo, entries, arrivals, deadline, maxPending, shed)
 			if err != nil {
 				return nil, err

@@ -145,6 +145,9 @@ func RunSimSpeed(opt Options) (*SimSpeed, error) {
 	for _, spec := range workloads.All() {
 		scale := opt.scale(spec)
 		for _, sched := range simSpeedSchedulers {
+			if err := opt.interrupted(); err != nil {
+				return nil, err
+			}
 			fast, err := timeOne(spec, threads, scale, topo, sched, false)
 			if err != nil {
 				return nil, err

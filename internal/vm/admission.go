@@ -2,6 +2,7 @@ package vm
 
 import (
 	"errors"
+	"fmt"
 
 	"herajvm/internal/cell"
 	"herajvm/internal/isa"
@@ -89,63 +90,117 @@ type JobSpec struct {
 	Policy Policy
 }
 
-// pendingJobs reports the admission queue depth: jobs admitted but not
-// yet completed.
-func (vm *VM) pendingJobs() int { return vm.pending }
+// PendingJobs reports the admission queue depth: jobs admitted but not
+// yet completed. It is part of the probe surface a cluster dispatcher
+// reads between epoch barriers.
+func (vm *VM) PendingJobs() int { return vm.pending }
+
+// LiveThreads reports the number of live (unterminated) threads on the
+// machine — zero means driving the VM is a no-op. A cluster drain loop
+// polls it to know when a shard has gone idle.
+func (vm *VM) LiveThreads() int { return vm.liveCount }
+
+// predictCompletion is the admission probe shared by the per-VM
+// verdict and the cluster dispatcher: the cycle a job arriving at
+// arrival (already floored at the machine clock) is predicted to
+// complete, given that its root thread lands on kind.
+//
+// The job is predicted to start no earlier than the worst pool's best
+// drain across every kind the machine has (a job's threads must
+// ultimately drain through the machine's most backed-up pool — the
+// serve workloads park their mains in join while annotated workers
+// saturate the accelerators, so the root's own pool is routinely idle
+// while the machine is overloaded) and then to take the observed
+// per-job service time for itself plus each job already in flight
+// ahead of it. The service term is the VM's completion EWMA — before
+// any job has completed it degrades to one predicted scheduling round,
+// so a cold machine admits optimistically and the estimator sharpens
+// as the session serves. rootDrain is the drain estimate of the best
+// core of the root's own pool — the queueing signal the Delayed
+// verdict reads.
+func (vm *VM) predictCompletion(kind isa.CoreKind, arrival cell.Clock) (completion, rootDrain cell.Clock) {
+	_, rootDrain = sched.BestCore(vm.scheduler, vm.kindCores[kind])
+	congestion := rootDrain
+	var round uint64
+	for _, k := range vm.presentKinds {
+		pool := vm.kindCores[k]
+		pos, drain := sched.BestCore(vm.scheduler, pool)
+		if drain > congestion {
+			congestion = drain
+			round = vm.taskCost(nil, pool[pos])
+		}
+	}
+	start := congestion
+	if arrival > start {
+		start = arrival
+	}
+	service := vm.jobServiceEWMA * uint64(vm.pending+1)
+	if service == 0 {
+		// Cold start: no completion observed yet; one scheduling
+		// round is the only prediction the scheduler can back.
+		service = round
+		if service == 0 {
+			service = vm.taskCost(nil, vm.kindCores[kind][0])
+		}
+	}
+	return start + service, rootDrain
+}
+
+// ProbeJob evaluates the admission probe for a hypothetical submission
+// without admitting anything: it resolves the spec's entry method,
+// floors the arrival at the machine clock, asks the placement policy
+// where the root thread would land, and returns the drain-estimate +
+// service-EWMA predicted completion cycle plus whether the bounded
+// pending queue has room (always true when MaxPending is 0). A cluster
+// dispatcher calls this on every shard at an epoch barrier and routes
+// the job to the lowest predicted completion; the probe reads only
+// scheduler state, so probing is side-effect free and any number of
+// probes replay identically.
+func (vm *VM) ProbeJob(spec JobSpec) (completion cell.Clock, room bool, err error) {
+	cls := vm.Prog.Lookup(spec.Class)
+	if cls == nil {
+		return 0, false, fmt.Errorf("vm: no class %q", spec.Class)
+	}
+	m := cls.MethodByName(spec.Method)
+	if m == nil {
+		return 0, false, fmt.Errorf("vm: no method %s.%s", spec.Class, spec.Method)
+	}
+	arrival := spec.Arrival
+	if now := vm.Machine.MaxClock(); arrival < now {
+		arrival = now
+	}
+	pol := spec.Policy
+	if pol == nil {
+		pol = vm.policy
+	}
+	kind := pol.PlaceThread(vm, m)
+	if !vm.Machine.HasKind(kind) {
+		kind = vm.serviceKind()
+	}
+	adm := vm.Cfg.Admission
+	room = adm.MaxPending == 0 || vm.pending < adm.MaxPending
+	completion, _ = vm.predictCompletion(kind, arrival)
+	return completion, room, nil
+}
 
 // admissionVerdict decides a submission's fate from the scheduler's
 // drain estimates. kind is where the placement policy would put the
 // job's root thread; arrival is already floored at the machine clock;
 // deadline is absolute (0 = none).
 //
-// The probe asks two questions. Start: the scheduler's drain estimate
-// of the best core of the root's own pool — later than the arrival
-// means the job queues (VerdictDelayed). Completion: the job is
-// predicted to start no earlier than the worst pool's best drain
-// across every kind the machine has (a job's threads must ultimately
-// drain through the machine's most backed-up pool — the serve
-// workloads park their mains in join while annotated workers saturate
-// the accelerators, so the root's own pool is routinely idle while the
-// machine is overloaded) and then to take the observed per-job service
-// time for itself plus each job already in flight ahead of it. The
-// service term is the VM's completion EWMA — before any job has
-// completed it degrades to one predicted scheduling round, so a cold
-// machine admits optimistically and the estimator sharpens as the
-// session serves. When shedding is enabled and predicted completion
-// exceeds the deadline, the job is refused.
+// The probe asks two questions. Start: the root pool's best drain —
+// later than the arrival means the job queues (VerdictDelayed).
+// Completion: predictCompletion's drain + service-EWMA estimate. When
+// shedding is enabled and predicted completion exceeds the deadline,
+// the job is refused.
 func (vm *VM) admissionVerdict(kind isa.CoreKind, arrival, deadline cell.Clock) Verdict {
 	adm := vm.Cfg.Admission
 	if adm.MaxPending > 0 && vm.pending >= adm.MaxPending {
 		return VerdictShed
 	}
-	_, rootDrain := sched.BestCore(vm.scheduler, vm.kindCores[kind])
-	if adm.Shed && deadline != 0 {
-		congestion := rootDrain
-		var round uint64
-		for _, k := range vm.presentKinds {
-			pool := vm.kindCores[k]
-			pos, drain := sched.BestCore(vm.scheduler, pool)
-			if drain > congestion {
-				congestion = drain
-				round = vm.taskCost(nil, pool[pos])
-			}
-		}
-		start := congestion
-		if arrival > start {
-			start = arrival
-		}
-		service := vm.jobServiceEWMA * uint64(vm.pending+1)
-		if service == 0 {
-			// Cold start: no completion observed yet; one scheduling
-			// round is the only prediction the scheduler can back.
-			service = round
-			if service == 0 {
-				service = vm.taskCost(nil, vm.kindCores[kind][0])
-			}
-		}
-		if start+service > deadline {
-			return VerdictShed
-		}
+	completion, rootDrain := vm.predictCompletion(kind, arrival)
+	if adm.Shed && deadline != 0 && completion > deadline {
+		return VerdictShed
 	}
 	if rootDrain > arrival {
 		return VerdictDelayed
