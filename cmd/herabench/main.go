@@ -21,6 +21,7 @@
 //	herabench -fig cluster                              # N parallel shards vs serial advancement
 //	herabench -fig cluster -shards "ppe:1,spe:6;ppe:1,spe:4,vpu:2"  # heterogeneous fleet
 //	herabench -fig cluster -json BENCH_cluster.json -clustermin 2.0 # CI scaling gate
+//	herabench -fig cluster -handoff                     # inter-shard hand-off arm + replay gate
 //	herabench -fig cluster -timeout 10m -cpuprofile cpu.pprof       # guarded + profiled
 package main
 
@@ -208,6 +209,13 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println("cluster scaling gate: ok")
+		}
+		if serveFlags.Handoff {
+			if err := clusterSweep.CheckHandoff(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println("cluster hand-off gate: ok")
 		}
 	}
 	if simspeed != nil {

@@ -54,6 +54,13 @@ func ParseTopology(s string) (Topology, error) {
 				return nil, fmt.Errorf("cell: topology %q: bad count %q", s, countStr)
 			}
 		}
+		if count == 0 {
+			// A zero-count group contributes no cores and no core
+			// indices: drop it here so the parsed value is canonical —
+			// String() already skips empty groups, and parse(String())
+			// must be a fixpoint.
+			continue
+		}
 		t = append(t, CoreGroup{Kind: kind, Count: count})
 	}
 	if len(t) == 0 {

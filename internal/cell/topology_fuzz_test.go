@@ -1,0 +1,74 @@
+package cell
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseTopology: any input either errors cleanly or yields a
+// validated topology whose String() form reparses to the same value —
+// the flag-syntax round-trip the herabench -shards/-topology flags
+// depend on.
+func FuzzParseTopology(f *testing.F) {
+	f.Add("ppe:1,spe:6")
+	f.Add("ppe")
+	f.Add(" ppe : 2 , vpu : 4 ")
+	f.Add("ppe:1,spe:0")
+	f.Add("spe:6")
+	f.Add("ppe:-1")
+	f.Add("ppe:1,,spe:2,")
+	f.Add("ppe:99999999999999999999")
+	f.Fuzz(func(t *testing.T, s string) {
+		topo, err := ParseTopology(s)
+		if err != nil {
+			return
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("ParseTopology(%q) accepted an invalid topology: %v", s, err)
+		}
+		again, err := ParseTopology(topo.String())
+		if err != nil {
+			t.Fatalf("ParseTopology(%q).String() = %q does not reparse: %v", s, topo.String(), err)
+		}
+		if !reflect.DeepEqual(again, topo) {
+			t.Fatalf("round-trip of %q changed the topology: %v vs %v", s, topo, again)
+		}
+	})
+}
+
+// FuzzParseTopologyList: the semicolon-list variant — every accepted
+// element validates, and the canonical rendering reparses to the same
+// list.
+func FuzzParseTopologyList(f *testing.F) {
+	f.Add("ppe:1,spe:6;ppe:1,spe:4,vpu:2")
+	f.Add("ppe")
+	f.Add(";;ppe:2;")
+	f.Add("ppe:1;bogus:3")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		list, err := ParseTopologyList(s)
+		if err != nil {
+			return
+		}
+		if len(list) == 0 {
+			t.Fatalf("ParseTopologyList(%q) returned an empty list without error", s)
+		}
+		canon := ""
+		for i, topo := range list {
+			if err := topo.Validate(); err != nil {
+				t.Fatalf("ParseTopologyList(%q) element %d invalid: %v", s, i, err)
+			}
+			if i > 0 {
+				canon += ";"
+			}
+			canon += topo.String()
+		}
+		again, err := ParseTopologyList(canon)
+		if err != nil {
+			t.Fatalf("canonical list %q does not reparse: %v", canon, err)
+		}
+		if !reflect.DeepEqual(again, list) {
+			t.Fatalf("round-trip of %q changed the list: %v vs %v", s, list, again)
+		}
+	})
+}

@@ -73,10 +73,20 @@ type Config struct {
 	// the dispatcher always routes to the best shard and the job runs
 	// to whatever fate its deadline meets.
 	Shed bool
+	// Handoff enables inter-shard job hand-off: at each epoch barrier
+	// the cluster re-probes in-flight deadline jobs and moves the worst
+	// predicted deadline-misser to a strictly better shard by freezing
+	// its thread tree at a safe point and rehydrating it there (see
+	// handoff.go). Off by default; replay determinism holds either way.
+	Handoff bool
+	// MaxHandoffs caps how many times one job may be handed off
+	// (0 = DefaultMaxHandoffs).
+	MaxHandoffs int
 	// Ctx, when non-nil, guards every epoch barrier: if it is
 	// cancelled, the next barrier returns its error instead of waiting
 	// on shard goroutines — a wedged shard fails the run instead of
-	// hanging it. nil means no guard.
+	// hanging it. It also aborts an in-progress freeze during hand-off,
+	// leaving that job running on its source shard. nil means no guard.
 	Ctx context.Context
 }
 
@@ -88,15 +98,22 @@ type Shard struct {
 	Sys *core.System
 	// Routed counts the jobs the dispatcher sent to this shard.
 	Routed int
+	// HandoffsOut and HandoffsIn count jobs frozen off this shard and
+	// rehydrated onto it by the hand-off pass.
+	HandoffsOut int
+	HandoffsIn  int
 }
 
 // Job is one job submitted through the cluster dispatcher.
 type Job struct {
 	// Seq is the cluster-wide submission sequence number.
 	Seq int
-	// Shard is the shard the job was routed to, or -1 when the
-	// dispatcher shed it (no shard could take it).
+	// Shard is the shard the job currently lives on (after any
+	// hand-offs), or -1 when the dispatcher shed it.
 	Shard int
+	// Handoffs counts how many times the job was frozen off one shard
+	// and rehydrated on another.
+	Handoffs int
 	// Verdict is the routed shard's admission verdict, or Shed for a
 	// dispatcher-shed job.
 	Verdict core.Verdict

@@ -62,6 +62,20 @@ func (c *Cluster) live() bool {
 // the barrier is a WaitGroup wait, guarded by Ctx so a wedged shard
 // fails the run instead of hanging it.
 func (c *Cluster) epoch(boundary cell.Clock) error {
+	if err := c.advanceShards(boundary); err != nil {
+		return err
+	}
+	// With hand-off enabled, the barrier is also the rebalancing point:
+	// every shard is parked here, so the slip probes and the freeze read
+	// and mutate pinned state on the calling goroutine only.
+	if c.cfg.Handoff {
+		return c.rebalance(boundary)
+	}
+	return nil
+}
+
+// advanceShards drives every shard to the boundary and synchronizes.
+func (c *Cluster) advanceShards(boundary cell.Clock) error {
 	c.barriers++
 	c.horizon = boundary
 	if c.cfg.Serial {

@@ -19,6 +19,8 @@ type Result struct {
 	// synthesized shed Result for dispatcher-shed jobs (Shed set, no
 	// cycles, no value).
 	Res *core.Result
+	// Handoffs counts how many times the job moved shards mid-flight.
+	Handoffs int
 	// Err is the job's first thread trap, nil for clean and shed jobs.
 	Err error
 }
@@ -43,7 +45,7 @@ func (c *Cluster) Results() ([]Result, error) {
 	})
 	out := make([]Result, 0, len(ordered))
 	for _, j := range ordered {
-		r := Result{Seq: j.Seq, Shard: j.Shard, Name: c.nameOf(j)}
+		r := Result{Seq: j.Seq, Shard: j.Shard, Name: c.nameOf(j), Handoffs: j.Handoffs}
 		if j.Inner == nil {
 			r.Res = &core.Result{
 				AdmittedAt:  j.Arrival,
@@ -98,16 +100,16 @@ func (c *Cluster) JobsTable() (string, error) {
 		return "", err
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%4s %5s %-16s %12s %-9s %12s %5s %5s %7s\n",
-		"seq", "shard", "job", "arrival", "verdict", "latency", "met", "mig", "steals")
+	fmt.Fprintf(&b, "%4s %5s %-16s %12s %-9s %12s %5s %5s %7s %4s\n",
+		"seq", "shard", "job", "arrival", "verdict", "latency", "met", "mig", "steals", "hand")
 	for _, r := range results {
 		shard := fmt.Sprintf("%d", r.Shard)
 		if r.Shard < 0 {
 			shard = "-"
 		}
-		fmt.Fprintf(&b, "%4d %5s %-16s %12d %-9s %12d %5v %5d %7d\n",
+		fmt.Fprintf(&b, "%4d %5s %-16s %12d %-9s %12d %5v %5d %7d %4d\n",
 			r.Seq, shard, r.Name, r.Res.AdmittedAt, r.Res.Verdict,
-			r.Res.Cycles, r.Res.DeadlineMet, r.Res.Migrations, r.Res.Steals)
+			r.Res.Cycles, r.Res.DeadlineMet, r.Res.Migrations, r.Res.Steals, r.Handoffs)
 	}
 	return b.String(), nil
 }
@@ -122,9 +124,9 @@ func (c *Cluster) Report() (string, error) {
 		len(c.shards), c.cfg.EpochStride, c.barriers, c.horizon)
 	for _, s := range c.shards {
 		m := s.Sys.VM.Machine
-		fmt.Fprintf(&b, "shard %d: %s sched=%-8s clock=%-12d jobs=%-3d pending=%-3d util=%.3f\n",
+		fmt.Fprintf(&b, "shard %d: %s sched=%-8s clock=%-12d jobs=%-3d pending=%-3d hand=+%d/-%d util=%.3f\n",
 			s.ID, m.Describe(), s.Sys.VM.Cfg.Scheduler, m.MaxClock(),
-			s.Routed, s.Sys.PendingJobs(), s.Utilization())
+			s.Routed, s.Sys.PendingJobs(), s.HandoffsIn, s.HandoffsOut, s.Utilization())
 	}
 	jobs, err := c.JobsTable()
 	if err != nil {

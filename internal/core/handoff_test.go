@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/vm"
+	"herajvm/internal/workloads"
+)
+
+// handoffConfig is the machine both ends of the hand-off tests boot:
+// identical topology and scheduler, so only the hand-off itself can
+// perturb the outcome.
+func handoffConfig() vm.Config {
+	cfg := vm.DefaultConfig()
+	cfg.Machine.Topology = cell.PS3Topology(4)
+	cfg.Scheduler = "migrate"
+	return cfg
+}
+
+// TestHandoffDifferentialAcrossWorkloads is the property test over the
+// real paper workloads: freeze each one mid-run on a source System,
+// rehydrate the image on an identically configured fresh System, and
+// require the checksum and output to match a never-frozen control run.
+func TestHandoffDifferentialAcrossWorkloads(t *testing.T) {
+	for _, spec := range workloads.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			entries := []workloads.MixEntry{{Spec: spec, Threads: 2, Scale: 1}}
+			prog, err := workloads.BuildMix(entries)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := JobRequest{Class: entries[0].MainClassOf(0), Method: "main"}
+			want := spec.Reference(2, 1)
+
+			// Control: never frozen.
+			control, err := NewSystem(handoffConfig(), prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cj, _, err := control.Submit(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cres, err := cj.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := int32(uint32(cres.Value)); got != want {
+				t.Fatalf("control checksum = %d, want %d", got, want)
+			}
+
+			// Freeze mid-run at the first cycle the job hasn't beaten.
+			var img *vm.JobImage
+			var srcJob *Job
+			for _, cycle := range []cell.Clock{cres.CompletedAt / 2, cres.CompletedAt / 4, 10_000, 0} {
+				src, err := NewSystem(handoffConfig(), prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				j, _, err := src.Submit(req)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := src.RunUntil(cycle); err != nil {
+					t.Fatal(err)
+				}
+				img, err = src.Freeze(context.Background(), j)
+				if errors.Is(err, ErrJobDone) {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("freeze at %d: %v", cycle, err)
+				}
+				srcJob = j
+				if _, err := j.Wait(); !errors.Is(err, ErrFrozen) {
+					t.Fatalf("Wait on frozen job = %v, want ErrFrozen", err)
+				}
+				if err := src.Drain(); err != nil {
+					t.Fatalf("source drain after freeze: %v", err)
+				}
+				break
+			}
+			if img == nil {
+				t.Fatal("every freeze point landed after job completion")
+			}
+
+			dst, err := NewSystem(handoffConfig(), prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dj, err := dst.Rehydrate(img, 0, srcJob.Request())
+			if err != nil {
+				t.Fatalf("rehydrate: %v", err)
+			}
+			res, err := dj.Wait()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := int32(uint32(res.Value)); got != want {
+				t.Errorf("checksum after hand-off = %d, want %d", got, want)
+			}
+			if res.Output != cres.Output {
+				t.Errorf("output after hand-off = %q, want %q", res.Output, cres.Output)
+			}
+			if res.AdmittedAt != cres.AdmittedAt {
+				t.Errorf("admission cycle changed across hand-off: %d vs %d",
+					res.AdmittedAt, cres.AdmittedAt)
+			}
+		})
+	}
+}
+
+// TestFreezeCancelledSystemDrains is the Drain-path regression: a
+// cancelled freeze leaves the job runnable, and a System whose job was
+// frozen away still drains cleanly (the frozen job is excluded from
+// the pending count rather than wedging Drain forever).
+func TestFreezeCancelledSystemDrains(t *testing.T) {
+	spec := workloads.Compress()
+	entries := []workloads.MixEntry{{Spec: spec, Threads: 2, Scale: 1}}
+	prog, err := workloads.BuildMix(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := JobRequest{Class: entries[0].MainClassOf(0), Method: "main"}
+
+	sys, err := NewSystem(handoffConfig(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, _, err := sys.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RunUntil(10_000); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.Freeze(ctx, j); !errors.Is(err, context.Canceled) {
+		t.Fatalf("freeze under cancelled ctx = %v, want context.Canceled", err)
+	}
+	if err := sys.Drain(); err != nil {
+		t.Fatalf("drain after aborted freeze: %v", err)
+	}
+	res, err := j.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int32(uint32(res.Value)); got != spec.Reference(2, 1) {
+		t.Errorf("checksum after aborted freeze = %d, want %d", got, spec.Reference(2, 1))
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"herajvm/internal/classfile"
 	"herajvm/internal/cluster"
 	"herajvm/internal/core"
+	"herajvm/internal/isa"
 	"herajvm/internal/vm"
 	"herajvm/internal/workloads"
 )
@@ -40,6 +41,17 @@ const (
 	// the strongest serving scheduler (PR 5's serve sweep), and the
 	// cluster story is "many of the best machines".
 	defaultClusterScheduler = "migrate"
+	// The hand-off arm's scenario, tuned empirically on the default
+	// imbalanced fleet: a bursty script whose spikes land jobs on the
+	// weak shard, a deadline tight enough that those jobs slip there
+	// but roomy enough that the strong shard can still rescue them,
+	// and an epoch stride finer than DefaultEpochStride so rebalance
+	// decisions come often enough to matter.
+	defaultHandoffTrace    = "bursty"
+	defaultHandoffJobs     = 16
+	defaultHandoffCadence  = 100_000
+	defaultHandoffDeadline = 60_000_000
+	defaultHandoffStride   = 500_000
 )
 
 // clusterStrides are the epoch strides the sensitivity table visits
@@ -71,6 +83,9 @@ type ClusterRun struct {
 	// utilization — the dispatcher's balance, made visible.
 	ShardJobs []int     `json:"shard_jobs"`
 	ShardUtil []float64 `json:"shard_util"`
+	// Handoffs counts inter-shard job hand-offs the pass performed
+	// (always 0 with hand-off disabled).
+	Handoffs int `json:"handoffs"`
 	// AllValid reports every completed job's checksum matched its Go
 	// reference.
 	AllValid bool `json:"all_valid"`
@@ -100,8 +115,17 @@ type ClusterSweep struct {
 	Serial   ClusterRun `json:"serial"`
 	Parallel ClusterRun `json:"parallel"`
 	Speedup  float64    `json:"speedup"`
-	// StrideRuns are parallel passes at the other strides.
+	// StrideRuns are parallel passes at the other strides (empty on
+	// the hand-off arm: barrier placement decides freeze points there,
+	// so stride invariance is deliberately not claimed).
 	StrideRuns []ClusterRun `json:"stride_runs"`
+	// HandoffArm marks the hand-off arm: HandoffOn is the parallel
+	// pass with inter-shard hand-off enabled on the same fleet and
+	// script as Serial/Parallel (which stay hand-off-free as the
+	// baseline). Its Identical flag reports an in-process replay of
+	// the pass reproduced the merged job table byte for byte.
+	HandoffArm bool       `json:"handoff_arm,omitempty"`
+	HandoffOn  ClusterRun `json:"handoff_on,omitempty"`
 	// NoWall omits host-timing columns from Table so the output is
 	// byte-for-byte replayable.
 	NoWall bool `json:"-"`
@@ -117,6 +141,18 @@ func DefaultClusterShards() []cell.Topology {
 	return topos
 }
 
+// DefaultHandoffShards returns the hand-off arm's imbalanced fleet: a
+// weak PPE-only shard next to a strong 1-PPE + 6-SPE shard. The
+// capacity-blind admission probe splits bursts roughly evenly between
+// them, overloading the weak shard — the misrouting the hand-off pass
+// exists to repair.
+func DefaultHandoffShards() []cell.Topology {
+	return []cell.Topology{
+		{{Kind: isa.PPE, Count: 1}},
+		{{Kind: isa.PPE, Count: 1}, {Kind: isa.SPE, Count: 6}},
+	}
+}
+
 // RunCluster executes the cluster figure. Options: ShardTopos sets the
 // fleet (default four serve shards), Scheduler the per-shard scheduler
 // (default migrate), EpochStride the default stride, and the serve
@@ -124,7 +160,11 @@ func DefaultClusterShards() []cell.Topology {
 func RunCluster(opt Options) (*ClusterSweep, error) {
 	topos := opt.ShardTopos
 	if len(topos) == 0 {
-		topos = DefaultClusterShards()
+		if opt.Handoff {
+			topos = DefaultHandoffShards()
+		} else {
+			topos = DefaultClusterShards()
+		}
 	}
 	scheduler := opt.Scheduler
 	if scheduler == "" {
@@ -133,14 +173,23 @@ func RunCluster(opt Options) (*ClusterSweep, error) {
 	numJobs := opt.ServeJobs
 	if numJobs <= 0 {
 		numJobs = defaultClusterJobs
+		if opt.Handoff {
+			numJobs = defaultHandoffJobs
+		}
 	}
 	cadence := opt.ServeCadence
 	if cadence == 0 {
 		cadence = defaultClusterCadence
+		if opt.Handoff {
+			cadence = defaultHandoffCadence
+		}
 	}
 	trace := opt.ServeTrace
 	if trace == "" {
 		trace = defaultServeTrace
+		if opt.Handoff {
+			trace = defaultHandoffTrace
+		}
 	}
 	seed := opt.ServeSeed
 	if seed == 0 {
@@ -149,8 +198,14 @@ func RunCluster(opt Options) (*ClusterSweep, error) {
 	deadline := opt.ServeDeadline
 	if deadline == 0 {
 		deadline = defaultClusterDeadline
+		if opt.Handoff {
+			deadline = defaultHandoffDeadline
+		}
 	}
 	stride := cluster.DefaultEpochStride
+	if opt.Handoff {
+		stride = defaultHandoffStride
+	}
 	if opt.EpochStride != 0 {
 		stride = cell.Clock(opt.EpochStride)
 	}
@@ -171,20 +226,20 @@ func RunCluster(opt Options) (*ClusterSweep, error) {
 		out.Shards = append(out.Shards, t.String())
 	}
 
-	play := func(serial bool, s cell.Clock) (ClusterRun, error) {
+	play := func(serial, handoff bool, s cell.Clock) (ClusterRun, error) {
 		if err := opt.interrupted(); err != nil {
 			return ClusterRun{}, err
 		}
-		return playCluster(opt, topos, scheduler, entries, arrivals, deadline, s, serial)
+		return playCluster(opt, topos, scheduler, entries, arrivals, deadline, s, serial, handoff)
 	}
 
-	if out.Serial, err = play(true, stride); err != nil {
+	if out.Serial, err = play(true, false, stride); err != nil {
 		return nil, err
 	}
 	out.Serial.Identical = true // the reference pass
 	opt.logf("cluster serial: %.3fs, %d barriers, goodput=%.2f/s", out.Serial.WallSecs,
 		out.Serial.Barriers, out.Serial.Goodput)
-	if out.Parallel, err = play(false, stride); err != nil {
+	if out.Parallel, err = play(false, false, stride); err != nil {
 		return nil, err
 	}
 	out.Parallel.Identical = out.Parallel.jobsTable == out.Serial.jobsTable
@@ -194,11 +249,34 @@ func RunCluster(opt Options) (*ClusterSweep, error) {
 	opt.logf("cluster parallel: %.3fs (%.2fx on %d CPUs), identical=%v",
 		out.Parallel.WallSecs, out.Speedup, out.HostCPUs, out.Parallel.Identical)
 
+	if opt.Handoff {
+		// The hand-off arm: the same script with hand-off on, then an
+		// in-process replay — the determinism half of the acceptance
+		// gate. Its Identical flag means "replay reproduced the merged
+		// job table", not "matches the hand-off-free serial pass" (a
+		// different schedule by design). Stride runs are skipped:
+		// barrier placement decides freeze points, so stride invariance
+		// is not claimed for hand-off.
+		out.HandoffArm = true
+		if out.HandoffOn, err = play(false, true, stride); err != nil {
+			return nil, err
+		}
+		replay, err := play(false, true, stride)
+		if err != nil {
+			return nil, err
+		}
+		out.HandoffOn.Identical = out.HandoffOn.jobsTable == replay.jobsTable
+		opt.logf("cluster handoff: %d hand-offs, met %d vs %d, p99 %d vs %d, replay identical=%v",
+			out.HandoffOn.Handoffs, out.HandoffOn.Met, out.Parallel.Met,
+			out.HandoffOn.P99, out.Parallel.P99, out.HandoffOn.Identical)
+		return out, nil
+	}
+
 	for _, s := range clusterStrides {
 		if s == stride {
 			continue
 		}
-		run, err := play(false, s)
+		run, err := play(false, false, s)
 		if err != nil {
 			return nil, err
 		}
@@ -246,7 +324,7 @@ func serveEntries(opt Options, numJobs int) ([]workloads.MixEntry, error) {
 // building excluded, as in the simspeed sweep).
 func playCluster(opt Options, topos []cell.Topology, scheduler string,
 	entries []workloads.MixEntry, arrivals []cell.Clock,
-	deadline, stride cell.Clock, serial bool) (ClusterRun, error) {
+	deadline, stride cell.Clock, serial, handoff bool) (ClusterRun, error) {
 
 	shards := make([]cluster.ShardConfig, len(topos))
 	for i, topo := range topos {
@@ -259,7 +337,8 @@ func playCluster(opt Options, topos []cell.Topology, scheduler string,
 		}
 	}
 	cl, err := cluster.Boot(cluster.Config{
-		EpochStride: stride, Serial: serial, Shed: true, Ctx: opt.Ctx}, shards)
+		EpochStride: stride, Serial: serial, Shed: true, Handoff: handoff,
+		Ctx: opt.Ctx}, shards)
 	if err != nil {
 		return ClusterRun{}, err
 	}
@@ -267,6 +346,9 @@ func playCluster(opt Options, topos []cell.Topology, scheduler string,
 	mode := "parallel"
 	if serial {
 		mode = "serial"
+	}
+	if handoff {
+		mode = "handoff"
 	}
 	runtime.GC() // keep host collector pauses out of the timed region
 	t0 := time.Now()
@@ -325,6 +407,7 @@ func playCluster(opt Options, topos []cell.Topology, scheduler string,
 	for _, s := range cl.Shards() {
 		run.ShardJobs = append(run.ShardJobs, s.Routed)
 		run.ShardUtil = append(run.ShardUtil, s.Utilization())
+		run.Handoffs += s.HandoffsOut
 	}
 	if run.jobsTable, err = cl.JobsTable(); err != nil {
 		return ClusterRun{}, err
@@ -342,6 +425,9 @@ func (s *ClusterSweep) Table() string {
 		s.NumJobs, s.Trace, s.Seed, s.Cadence, s.Deadline)
 
 	rows := append([]ClusterRun{s.Serial, s.Parallel}, s.StrideRuns...)
+	if s.HandoffArm {
+		rows = append(rows, s.HandoffOn)
+	}
 	if s.NoWall {
 		fmt.Fprintf(&b, "%-9s %10s %8s %5s %4s %4s %10s %12s %12s %6s %9s\n",
 			"mode", "stride", "barriers", "done", "shed", "met", "goodput/s", "p50", "p99", "valid", "identical")
@@ -366,6 +452,20 @@ func (s *ClusterSweep) Table() string {
 	for i := range s.Shards {
 		fmt.Fprintf(&b, "  shard %d %-24s jobs=%-3d util=%.3f\n",
 			i, s.Shards[i], s.Parallel.ShardJobs[i], s.Parallel.ShardUtil[i])
+	}
+
+	if s.HandoffArm {
+		// The hand-off record: same fleet, same script, hand-off off vs
+		// on. "identical" on the hand-off row means an in-process replay
+		// reproduced its merged job table byte for byte.
+		h, p := s.HandoffOn, s.Parallel
+		fmt.Fprintf(&b, "hand-off arm (off vs on, same fleet and script):\n")
+		fmt.Fprintf(&b, "  hand-offs fired: %d\n", h.Handoffs)
+		fmt.Fprintf(&b, "  deadlines met:   %d -> %d (of %d completed)\n", p.Met, h.Met, h.Completed)
+		fmt.Fprintf(&b, "  p99 latency:     %d -> %d cycles\n", p.P99, h.P99)
+		fmt.Fprintf(&b, "  goodput:         %.2f -> %.2f /s\n", p.Goodput, h.Goodput)
+		fmt.Fprintf(&b, "  replay identical: %v, checksums valid: %v\n", h.Identical, h.AllValid)
+		return b.String()
 	}
 
 	// The stride record: how the epoch-barrier default was chosen.
@@ -422,6 +522,43 @@ func (s *ClusterSweep) CheckSpeedup(min float64) error {
 	}
 	if len(problems) > 0 {
 		return fmt.Errorf("cluster gate:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}
+
+// CheckHandoff is the CI hand-off gate: hand-offs must actually fire,
+// every pass's checksums must match their references, the hand-off
+// pass must replay byte-identically, and the hand-off run must
+// strictly beat the hand-off-free parallel baseline on goodput
+// (deadlines met) or tail latency (p99).
+func (s *ClusterSweep) CheckHandoff() error {
+	if !s.HandoffArm {
+		return fmt.Errorf("cluster gate: hand-off arm was not run")
+	}
+	var problems []string
+	h, p := s.HandoffOn, s.Parallel
+	if h.Handoffs == 0 {
+		problems = append(problems, "no hand-offs fired on the imbalanced fleet")
+	}
+	for _, r := range []ClusterRun{s.Serial, p, h} {
+		if !r.AllValid {
+			problems = append(problems,
+				fmt.Sprintf("%s pass: checksum mismatch vs reference", r.Mode))
+		}
+	}
+	if !p.Identical {
+		problems = append(problems, "parallel baseline diverged from serial reference")
+	}
+	if !h.Identical {
+		problems = append(problems, "hand-off pass did not replay byte-identically")
+	}
+	if h.Met <= p.Met && h.P99 >= p.P99 {
+		problems = append(problems, fmt.Sprintf(
+			"hand-off did not improve goodput or tail: met %d vs %d, p99 %d vs %d",
+			h.Met, p.Met, h.P99, p.P99))
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("cluster hand-off gate:\n  %s", strings.Join(problems, "\n  "))
 	}
 	return nil
 }

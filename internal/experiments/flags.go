@@ -24,6 +24,10 @@ type ServeFlags struct {
 	// stride in cycles.
 	Shards string
 	Stride uint64
+	// Handoff selects the cluster figure's hand-off arm: the same
+	// arrival script with and without inter-shard job hand-off on an
+	// imbalanced fleet, plus a replay of the hand-off pass.
+	Handoff bool
 }
 
 // BindServeFlags registers the serve driver's flags on a flag set and
@@ -40,6 +44,8 @@ func BindServeFlags(fs *flag.FlagSet) *ServeFlags {
 	fs.StringVar(&f.Shards, "shards", "",
 		`cluster: semicolon-separated per-shard machine shapes, e.g. "ppe:1,spe:6;ppe:1,spe:4,vpu:2" ("" = four default serve shards)`)
 	fs.Uint64Var(&f.Stride, "stride", 0, "cluster: epoch-barrier stride in cycles (0 = default)")
+	fs.BoolVar(&f.Handoff, "handoff", false,
+		"cluster: run the inter-shard hand-off arm (imbalanced fleet, hand-off off vs on, replay check)")
 	return f
 }
 
@@ -53,6 +59,7 @@ func (f *ServeFlags) Apply(o *Options) error {
 	o.ServeDeadline = f.Deadline
 	o.ServeMaxPending = f.MaxPending
 	o.EpochStride = f.Stride
+	o.Handoff = f.Handoff
 	if f.Shards != "" {
 		list, err := cell.ParseTopologyList(f.Shards)
 		if err != nil {

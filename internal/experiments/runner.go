@@ -60,6 +60,11 @@ type Options struct {
 	// EpochStride overrides the cluster's epoch-barrier stride in
 	// cycles (0 = cluster.DefaultEpochStride).
 	EpochStride uint64
+	// Handoff switches the cluster figure to its hand-off arm: an
+	// imbalanced two-shard fleet (unless ShardTopos overrides it)
+	// played with and without inter-shard job hand-off, plus an
+	// in-process replay of the hand-off pass for the determinism gate.
+	Handoff bool
 	// Ctx, when non-nil, is the shared timeout guard every figure
 	// runner honours: runners check it between runs (and the cluster
 	// epoch engine at every barrier), so a wedged run fails with the

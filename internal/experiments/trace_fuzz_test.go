@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzTrace: for any (trace name, seed, job count, gap), Arrivals
+// either rejects the name cleanly or returns exactly n non-decreasing
+// arrival cycles — and returns the identical script when called again,
+// the determinism the serve and cluster replay gates stand on. Count
+// and gap are folded into sane ranges: the property under test is the
+// generator contract, not float overflow at astronomically large gaps.
+func FuzzTrace(f *testing.F) {
+	f.Add("poisson", uint64(1), uint(24), uint64(200_000))
+	f.Add("uniform", uint64(7), uint(1), uint64(1))
+	f.Add("bursty", uint64(42), uint(100), uint64(50_000))
+	f.Add("diurnal", uint64(3), uint(16), uint64(300_000))
+	f.Add("nosuch", uint64(0), uint(10), uint64(1000))
+	f.Fuzz(func(t *testing.T, trace string, seed uint64, nRaw uint, gapRaw uint64) {
+		n := int(nRaw % 512)
+		gap := gapRaw % 1_000_000_000
+		arrivals, err := Arrivals(trace, seed, n, gap)
+		if err != nil {
+			return
+		}
+		if len(arrivals) != n {
+			t.Fatalf("Arrivals(%q, %d, %d, %d) returned %d cycles", trace, seed, n, gap, len(arrivals))
+		}
+		for i := 1; i < n; i++ {
+			if arrivals[i] < arrivals[i-1] {
+				t.Fatalf("%q trace went backwards at job %d: %d after %d",
+					trace, i, arrivals[i], arrivals[i-1])
+			}
+		}
+		again, err := Arrivals(trace, seed, n, gap)
+		if err != nil || !reflect.DeepEqual(again, arrivals) {
+			t.Fatalf("%q trace is not deterministic for seed %d", trace, seed)
+		}
+	})
+}

@@ -191,6 +191,28 @@ func (s *Calendar) NoteMigration(from, to *cell.Core) {
 	to.Stats.MigrationsIn++
 }
 
+// Remove implements Scheduler: delete task from the core's calendar,
+// ready or future, reporting whether it was found. heap.Remove restores
+// the heap invariant, and ordering among the survivors is untouched
+// because it derives entirely from the immutable (at, seq) keys. Freezes
+// are rare, so the linear scan is fine — the same trade takeReady makes.
+func (s *Calendar) Remove(core *cell.Core, task Task) bool {
+	c := &s.cals[core.Index]
+	for i := range c.ready {
+		if c.ready[i].t == task {
+			heap.Remove(&c.ready, i)
+			return true
+		}
+	}
+	for i := range c.future {
+		if c.future[i].t == task {
+			heap.Remove(&c.future, i)
+			return true
+		}
+	}
+	return false
+}
+
 // readyCount reports how many of a core's queued tasks are already
 // runnable at the core's clock (the stealable set).
 func (s *Calendar) readyCount(coreIndex int, now cell.Clock) int {

@@ -115,6 +115,13 @@ type Scheduler interface {
 	// cores' MigrationsOut/MigrationsIn counters).
 	NoteMigration(from, to *cell.Core)
 
+	// Remove deletes task from the core's queue wherever it sits (ready
+	// or future) and reports whether it was found. The VM uses it when a
+	// job is frozen for hand-off: the job's parked threads must leave
+	// the machine without being scheduled. Removal must not disturb the
+	// ordering of the remaining entries.
+	Remove(core *cell.Core, task Task) bool
+
 	// Name returns the scheduler's registered name.
 	Name() string
 }

@@ -1,0 +1,154 @@
+package vm
+
+import (
+	"testing"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/classfile"
+	"herajvm/internal/isa"
+)
+
+// TestStartJoinCoherence pins the Thread.start / Thread.join halves of
+// the software cache-coherence protocol, with every thread forced onto
+// local-store cores so all traffic runs through write-back data caches:
+//
+//   - start() is a release: the spawner's plain writes (the work array,
+//     the fields of the spawned Thread object) must be flushed to main
+//     memory before the child runs, and the child must acquire-purge so
+//     stale lines on its core cannot shadow them;
+//   - join() on an already-terminated thread is still an acquire: the
+//     joiner primed its cache with the old value of the result field,
+//     and must purge to observe the dead thread's flushed write.
+//
+// Without the start release the reader sums a stale (zero) array;
+// without the early-return join purge main returns the primed -1. The
+// schedule parks main in a long local-arithmetic spin (no memory
+// traffic, so nothing else flushes or purges its cache) until the
+// reader has terminated, forcing join's early-return path.
+func TestStartJoinCoherence(t *testing.T) {
+	const n = 64
+	p := newProg()
+	threadCls := p.Lookup("java/lang/Thread")
+
+	box := p.NewClass("Box", nil)
+	dataF := box.NewField("data", classfile.Ref)
+	sumF := box.NewField("sum", classfile.Int)
+
+	reader := p.NewClass("Reader", threadCls)
+	bF := reader.NewField("b", classfile.Ref)
+	{
+		// locals: 0=this 1=arr 2=i 3=s
+		a := reader.NewMethod("run", 0, classfile.Void).Asm()
+		loop, done := a.NewLabel(), a.NewLabel()
+		a.LoadRef(0)
+		a.GetField(bF)
+		a.GetField(dataF)
+		a.StoreRef(1)
+		a.ConstI(0)
+		a.StoreI(2)
+		a.ConstI(0)
+		a.StoreI(3)
+		a.Bind(loop)
+		a.LoadI(2)
+		a.LoadRef(1)
+		a.ArrayLen()
+		a.IfICmpGE(done)
+		a.LoadI(3)
+		a.LoadRef(1)
+		a.LoadI(2)
+		a.ALoad(classfile.ElemInt)
+		a.AddI()
+		a.StoreI(3)
+		a.Inc(2, 1)
+		a.Goto(loop)
+		a.Bind(done)
+		a.LoadRef(0)
+		a.GetField(bF)
+		a.LoadI(3)
+		a.PutField(sumF)
+		a.RetVoid()
+		a.MustBuild()
+	}
+
+	coh := p.NewClass("Coh", nil)
+	{
+		// locals: 0=box 1=arr 2=i 3=w 4=acc
+		a := coh.NewMethod("main", classfile.FlagStatic, classfile.Int).Asm()
+		a.New(box)
+		a.StoreRef(0)
+		a.ConstI(n)
+		a.NewArray(classfile.ElemInt)
+		a.StoreRef(1)
+		fill, filled := a.NewLabel(), a.NewLabel()
+		a.ConstI(0)
+		a.StoreI(2)
+		a.Bind(fill)
+		a.LoadI(2)
+		a.ConstI(n)
+		a.IfICmpGE(filled)
+		a.LoadRef(1)
+		a.LoadI(2)
+		a.LoadI(2)
+		a.ConstI(1)
+		a.AddI()
+		a.AStore(classfile.ElemInt)
+		a.Inc(2, 1)
+		a.Goto(fill)
+		a.Bind(filled)
+		a.LoadRef(0)
+		a.LoadRef(1)
+		a.PutField(dataF)
+		a.LoadRef(0)
+		a.ConstI(-1)
+		a.PutField(sumF) // prime the sum line in main's cache
+		a.New(reader)
+		a.Dup()
+		a.LoadRef(0)
+		a.PutField(bF)
+		a.Dup()
+		a.StoreRef(3)
+		a.InvokeVirtual(threadCls.MethodByName("start"))
+		spin, spun := a.NewLabel(), a.NewLabel()
+		a.ConstI(0)
+		a.StoreI(2)
+		a.ConstI(0)
+		a.StoreI(4)
+		a.Bind(spin)
+		a.LoadI(2)
+		a.ConstI(50_000)
+		a.IfICmpGE(spun)
+		a.LoadI(4)
+		a.ConstI(3)
+		a.MulI()
+		a.LoadI(2)
+		a.AddI()
+		a.StoreI(4)
+		a.Inc(2, 1)
+		a.Goto(spin)
+		a.Bind(spun)
+		a.LoadRef(3)
+		a.InvokeVirtual(threadCls.MethodByName("join"))
+		a.LoadRef(0)
+		a.GetField(sumF)
+		a.Ret()
+		a.MustBuild()
+	}
+
+	cfg := DefaultConfig()
+	cfg.Machine.Topology = cell.Topology{
+		{Kind: isa.PPE, Count: 1}, {Kind: isa.SPE, Count: 2},
+	}
+	cfg.Policy = FixedPolicy{Kind: isa.SPE}
+	machine, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := machine.RunMain("Coh", "main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int32(n * (n + 1) / 2)
+	if got := int32(uint32(th.Result)); got != want {
+		t.Errorf("main returned %d, want %d (stale cache crossed a start/join edge)", got, want)
+	}
+}

@@ -41,6 +41,17 @@ func (vm *VM) execute(core *cell.Core, t *Thread, quantum uint64) {
 			t.pendingHasVal = false
 			continue
 		}
+		// Freeze barrier: the job is being quiesced for a hand-off. Park
+		// the thread at this bytecode boundary — Blocked, off the
+		// calendar — instead of spending the quantum; FreezeJob collects
+		// it (or unparkJob re-queues it if the freeze aborts). The check
+		// sits where every boundary passes and no instruction is half
+		// applied; markers were already handled above.
+		if j := t.job; j != nil && j.freezeBarrier && f.CM.AtBytecodeBoundary(f.PC) {
+			t.State = StateBlocked
+			j.parked = append(j.parked, t)
+			return
+		}
 		// Superblock fast path: when a memoized pure block starts here,
 		// fits strictly inside the quantum (every prefix the reference
 		// interpreter would check also fits, so deadline semantics are

@@ -59,6 +59,9 @@ func (vm *VM) gc() {
 	for _, meta := range vm.classes {
 		push(meta.lockObj)
 	}
+	for _, r := range vm.pinned {
+		push(r)
+	}
 	for _, t := range vm.threads {
 		if t.State == StateTerminated {
 			continue

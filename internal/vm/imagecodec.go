@@ -1,0 +1,425 @@
+// JobImage wire format: a deterministic, versioned binary encoding so a
+// frozen job can cross any boundary bytes can (tests pin golden bytes;
+// the cluster layer hands the struct across directly). The format is
+// flat little-endian with length-prefixed sequences — no maps, no
+// floats except the policy's (bit-pattern encoded), so identical images
+// always encode to identical bytes. The decoder trusts nothing: every
+// length is checked against the bytes remaining before allocation, and
+// corrupt input surfaces as an error, never a panic (FuzzDecodeJobImage
+// holds it to that).
+package vm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"herajvm/internal/cell"
+)
+
+// imageMagic and imageVersion head every encoded JobImage. Bump the
+// version on any format change; the decoder rejects others.
+var imageMagic = [4]byte{'H', 'J', 'I', 'M'}
+
+const imageVersion uint16 = 1
+
+// ErrBadImage reports undecodable JobImage bytes (truncated input,
+// wrong magic or version, a length that overruns the buffer). Match
+// with errors.Is.
+var ErrBadImage = errors.New("malformed job image")
+
+type imageWriter struct{ buf []byte }
+
+func (w *imageWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *imageWriter) u16(v uint16) { w.buf = binary.LittleEndian.AppendUint16(w.buf, v) }
+func (w *imageWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *imageWriter) u64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+func (w *imageWriter) i32(v int32)  { w.u32(uint32(v)) }
+func (w *imageWriter) boolean(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *imageWriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *imageWriter) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *imageWriter) u64s(v []uint64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.u64(x)
+	}
+}
+func (w *imageWriter) u32s(v []uint32) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.u32(x)
+	}
+}
+func (w *imageWriter) i32s(v []int32) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.i32(x)
+	}
+}
+func (w *imageWriter) bools(v []bool) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.boolean(x)
+	}
+}
+
+type imageReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *imageReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", ErrBadImage, fmt.Sprintf(format, args...), r.off)
+	}
+}
+
+func (r *imageReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.buf)-r.off {
+		r.fail("need %d bytes, have %d", n, len(r.buf)-r.off)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *imageReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+func (r *imageReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+func (r *imageReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+func (r *imageReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+func (r *imageReader) i32() int32    { return int32(r.u32()) }
+func (r *imageReader) boolean() bool { return r.u8() != 0 }
+func (r *imageReader) str() string   { return string(r.take(int(r.u32()))) }
+func (r *imageReader) bytes() []byte { return append([]byte(nil), r.take(int(r.u32()))...) }
+
+// count reads a sequence length and bounds it by the bytes remaining
+// (each element needs at least elemSize bytes), so a corrupt length
+// cannot drive a giant allocation before take() would catch it.
+func (r *imageReader) count(elemSize int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n*elemSize > len(r.buf)-r.off {
+		r.fail("sequence of %d x %d bytes overruns input", n, elemSize)
+		return 0
+	}
+	return n
+}
+
+func (r *imageReader) u64s() []uint64 {
+	n := r.count(8)
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.u64()
+	}
+	return out
+}
+func (r *imageReader) u32s() []uint32 {
+	n := r.count(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.u32()
+	}
+	return out
+}
+func (r *imageReader) i32s() []int32 {
+	n := r.count(4)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = r.i32()
+	}
+	return out
+}
+func (r *imageReader) bools() []bool {
+	n := r.count(1)
+	if n == 0 {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.boolean()
+	}
+	return out
+}
+
+// EncodeJobImage serializes an image to its versioned binary form.
+// Identical images encode to identical bytes.
+func EncodeJobImage(img *JobImage) []byte {
+	w := &imageWriter{}
+	w.buf = append(w.buf, imageMagic[:]...)
+	w.u16(imageVersion)
+
+	w.str(img.Name)
+	w.u64(uint64(img.AdmittedAt))
+	w.u64(uint64(img.Deadline))
+	w.u64(uint64(img.FrozenAt))
+	w.u8(uint8(img.Verdict))
+	w.u64(img.Stats.Migrations)
+	w.u64(img.Stats.Steals)
+	w.u64(img.Stats.Compiles)
+	w.u64(img.Stats.GCPauses)
+	w.u64(img.Stats.GCCycles)
+	w.bytes(img.Output)
+
+	w.u8(img.Policy.Tag)
+	w.str(img.Policy.Kind)
+	w.u64(math.Float64bits(img.Policy.FPThreshold))
+	w.u64(math.Float64bits(img.Policy.MemThreshold))
+	w.u64(img.Policy.MinCycles)
+
+	w.u32(uint32(len(img.Objects)))
+	for i := range img.Objects {
+		o := &img.Objects[i]
+		w.str(o.Class)
+		w.u8(o.Elem)
+		w.u32(o.Length)
+		w.bytes(o.Data)
+		w.u32s(o.Elems)
+		w.u64s(o.Slots)
+	}
+
+	w.u32(uint32(len(img.Statics)))
+	for i := range img.Statics {
+		w.str(img.Statics[i].Class)
+		w.u64s(img.Statics[i].Slots)
+	}
+
+	w.u32(uint32(len(img.ClassLocks)))
+	for i := range img.ClassLocks {
+		w.str(img.ClassLocks[i].Class)
+		w.u32(img.ClassLocks[i].Obj)
+	}
+
+	w.u32(uint32(len(img.Threads)))
+	for i := range img.Threads {
+		t := &img.Threads[i]
+		w.str(t.Name)
+		w.boolean(t.Terminated)
+		w.boolean(t.Blocked)
+		w.u64(t.ReadyDelay)
+		w.str(t.Kind)
+		w.u32(t.JavaObj)
+		w.boolean(t.PendingHasVal)
+		w.boolean(t.PendingIsRef)
+		w.u64(t.PendingVal)
+		w.i32(t.WaitCount)
+		w.u64(t.Migrations)
+		w.u64(t.Steals)
+		w.u64(t.CooldownLeft)
+		w.u64(t.Result)
+		w.boolean(t.HasResult)
+		w.boolean(t.Trap != nil)
+		if t.Trap != nil {
+			w.str(t.Trap.Kind)
+			w.str(t.Trap.Detail)
+			w.str(t.Trap.Method)
+			w.i32(int32(t.Trap.PC))
+		}
+		w.i32s(t.Joiners)
+		w.u32(uint32(len(t.Frames)))
+		for fi := range t.Frames {
+			f := &t.Frames[fi]
+			w.boolean(f.Marker)
+			w.str(f.ReturnKind)
+			w.str(f.Class)
+			w.i32(f.Method)
+			w.i32(f.BC)
+			w.u64s(f.Locals)
+			w.bools(f.LocalRefs)
+			w.u64s(f.Stack)
+			w.bools(f.StackRefs)
+			w.u32(f.SyncObj)
+		}
+	}
+
+	w.u32(uint32(len(img.Monitors)))
+	for i := range img.Monitors {
+		m := &img.Monitors[i]
+		w.u32(m.Obj)
+		w.i32(m.Owner)
+		w.i32(m.Count)
+		w.i32s(m.Blocked)
+		w.i32s(m.Waiters)
+	}
+	return w.buf
+}
+
+// DecodeJobImage parses the versioned binary form back into an image.
+// Any malformed input — truncation, bad magic, lengths overrunning the
+// buffer, trailing garbage — returns an error wrapping ErrBadImage;
+// the decoder never panics. Structural validity against a particular
+// program (class names, index ranges) is RehydrateJob's validation.
+func DecodeJobImage(data []byte) (*JobImage, error) {
+	r := &imageReader{buf: data}
+	var magic [4]byte
+	copy(magic[:], r.take(4))
+	if r.err == nil && magic != imageMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadImage, magic[:])
+	}
+	if v := r.u16(); r.err == nil && v != imageVersion {
+		return nil, fmt.Errorf("%w: version %d, want %d", ErrBadImage, v, imageVersion)
+	}
+
+	img := &JobImage{}
+	img.Name = r.str()
+	img.AdmittedAt = cell.Clock(r.u64())
+	img.Deadline = cell.Clock(r.u64())
+	img.FrozenAt = cell.Clock(r.u64())
+	img.Verdict = Verdict(r.u8())
+	img.Stats.Migrations = r.u64()
+	img.Stats.Steals = r.u64()
+	img.Stats.Compiles = r.u64()
+	img.Stats.GCPauses = r.u64()
+	img.Stats.GCCycles = r.u64()
+	img.Output = r.bytes()
+
+	img.Policy.Tag = r.u8()
+	img.Policy.Kind = r.str()
+	img.Policy.FPThreshold = math.Float64frombits(r.u64())
+	img.Policy.MemThreshold = math.Float64frombits(r.u64())
+	img.Policy.MinCycles = r.u64()
+
+	nObj := r.count(1)
+	for i := 0; i < nObj && r.err == nil; i++ {
+		var o ImageObject
+		o.Class = r.str()
+		o.Elem = r.u8()
+		o.Length = r.u32()
+		o.Data = r.bytes()
+		o.Elems = r.u32s()
+		o.Slots = r.u64s()
+		img.Objects = append(img.Objects, o)
+	}
+
+	nSt := r.count(1)
+	for i := 0; i < nSt && r.err == nil; i++ {
+		var s ImageStatics
+		s.Class = r.str()
+		s.Slots = r.u64s()
+		img.Statics = append(img.Statics, s)
+	}
+
+	nCL := r.count(1)
+	for i := 0; i < nCL && r.err == nil; i++ {
+		var c ImageClassLock
+		c.Class = r.str()
+		c.Obj = r.u32()
+		img.ClassLocks = append(img.ClassLocks, c)
+	}
+
+	nThr := r.count(1)
+	for i := 0; i < nThr && r.err == nil; i++ {
+		var t ImageThread
+		t.Name = r.str()
+		t.Terminated = r.boolean()
+		t.Blocked = r.boolean()
+		t.ReadyDelay = r.u64()
+		t.Kind = r.str()
+		t.JavaObj = r.u32()
+		t.PendingHasVal = r.boolean()
+		t.PendingIsRef = r.boolean()
+		t.PendingVal = r.u64()
+		t.WaitCount = r.i32()
+		t.Migrations = r.u64()
+		t.Steals = r.u64()
+		t.CooldownLeft = r.u64()
+		t.Result = r.u64()
+		t.HasResult = r.boolean()
+		if r.boolean() {
+			trap := &TrapError{}
+			trap.Kind = r.str()
+			trap.Detail = r.str()
+			trap.Method = r.str()
+			trap.PC = int(r.i32())
+			t.Trap = trap
+		}
+		t.Joiners = r.i32s()
+		nFr := r.count(1)
+		for fi := 0; fi < nFr && r.err == nil; fi++ {
+			var f ImageFrame
+			f.Marker = r.boolean()
+			f.ReturnKind = r.str()
+			f.Class = r.str()
+			f.Method = r.i32()
+			f.BC = r.i32()
+			f.Locals = r.u64s()
+			f.LocalRefs = r.bools()
+			f.Stack = r.u64s()
+			f.StackRefs = r.bools()
+			f.SyncObj = r.u32()
+			t.Frames = append(t.Frames, f)
+		}
+		img.Threads = append(img.Threads, t)
+	}
+
+	nMon := r.count(1)
+	for i := 0; i < nMon && r.err == nil; i++ {
+		var m ImageMonitor
+		m.Obj = r.u32()
+		m.Owner = r.i32()
+		m.Count = r.i32()
+		m.Blocked = r.i32s()
+		m.Waiters = r.i32s()
+		img.Monitors = append(img.Monitors, m)
+	}
+
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadImage, len(r.buf)-r.off)
+	}
+	return img, nil
+}

@@ -73,7 +73,15 @@ type Job struct {
 	threads []*Thread
 	live    int
 	done    bool
-	out     bytes.Buffer
+	// frozen marks a job serialized off this machine by FreezeJob: it
+	// will never complete here (done stays false), and WaitJob returns
+	// ErrFrozen for it. freezeBarrier asks the executor to park the
+	// job's threads at their next bytecode boundary (the quiesce step
+	// of a freeze); parked collects the threads so parked.
+	frozen        bool
+	freezeBarrier bool
+	parked        []*Thread
+	out           bytes.Buffer
 	// w tees the VM-wide output stream and the job's capture buffer
 	// (built once at admission; print natives are a hot path).
 	w      io.Writer
@@ -82,6 +90,11 @@ type Job struct {
 
 // Done reports whether every thread of the job has terminated.
 func (j *Job) Done() bool { return j.done }
+
+// Frozen reports whether the job was serialized off this machine by
+// FreezeJob. A frozen job never completes here; its continuation lives
+// in the JobImage the freeze produced.
+func (j *Job) Frozen() bool { return j.frozen }
 
 // Root returns the job's root thread (its Result holds the entry
 // method's return value once the job is done).
@@ -189,10 +202,15 @@ func (vm *VM) Jobs() []*Job {
 
 // WaitJob drives the machine until the job completes (other jobs'
 // threads progress too — the machine is shared). It returns a
-// machine-level error (deadlock) or the job's first thread trap.
+// machine-level error (deadlock), ErrFrozen for a job that was frozen
+// off this machine (it will never complete here), or the job's first
+// thread trap.
 func (vm *VM) WaitJob(j *Job) error {
-	if err := vm.runWhile(func() bool { return j.done }); err != nil {
+	if err := vm.runWhile(func() bool { return j.done || j.frozen }); err != nil {
 		return err
+	}
+	if j.frozen {
+		return fmt.Errorf("vm: job %d (%s): %w", j.ID, j.Name, ErrFrozen)
 	}
 	return j.Err()
 }

@@ -1,0 +1,441 @@
+package vm
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/classfile"
+)
+
+// Workload scale. Big enough that the job runs for several hundred
+// thousand cycles, so the freeze points in the tests land mid-run.
+const (
+	snapWorkerIters = 2000
+	snapMainIters   = 5000
+)
+
+// buildSnapProg builds a job with plenty of state to transfer: a shared
+// Counter object mutated under its monitor by two spawned Worker
+// threads (each adds its loop index i to counter.v), a static
+// accumulator, and a main-thread compute loop. main returns
+// counter.v*1000 + acc + Snap.total — snapExpected mirrors it.
+func buildSnapProg() *classfile.Program {
+	p := newProg()
+	threadCls := p.Lookup("java/lang/Thread")
+
+	counter := p.NewClass("Counter", nil)
+	vField := counter.NewField("v", classfile.Int)
+
+	worker := p.NewClass("Worker", threadCls)
+	cField := worker.NewField("c", classfile.Ref)
+	nField := worker.NewField("n", classfile.Int)
+	{
+		a := worker.NewMethod("run", 0, classfile.Void).Asm()
+		loop, done := a.NewLabel(), a.NewLabel()
+		a.ConstI(1)
+		a.StoreI(1)
+		a.Bind(loop)
+		a.LoadI(1)
+		a.LoadRef(0)
+		a.GetField(nField)
+		a.IfICmpGT(done)
+		a.LoadRef(0)
+		a.GetField(cField)
+		a.Dup()
+		a.MonitorEnter()
+		a.Dup()
+		a.Dup()
+		a.GetField(vField)
+		a.LoadI(1)
+		a.AddI()
+		a.PutField(vField)
+		a.MonitorExit()
+		a.Inc(1, 1)
+		a.Goto(loop)
+		a.Bind(done)
+		a.RetVoid()
+		a.MustBuild()
+	}
+
+	snap := p.NewClass("Snap", nil)
+	total := snap.NewStaticField("total", classfile.Int)
+	a := snap.NewMethod("main", classfile.FlagStatic, classfile.Int).Asm()
+	// locals: 0=counter 1=w1 2=w2 3=i 4=acc
+	a.New(counter)
+	a.StoreRef(0)
+	for slot := 1; slot <= 2; slot++ {
+		a.New(worker)
+		a.Dup()
+		a.LoadRef(0)
+		a.PutField(cField)
+		a.Dup()
+		a.ConstI(snapWorkerIters)
+		a.PutField(nField)
+		a.Dup()
+		a.StoreRef(slot)
+		a.InvokeVirtual(threadCls.MethodByName("start"))
+	}
+	loop, done := a.NewLabel(), a.NewLabel()
+	a.ConstI(0)
+	a.StoreI(3)
+	a.ConstI(0)
+	a.StoreI(4)
+	a.Bind(loop)
+	a.LoadI(3)
+	a.ConstI(snapMainIters)
+	a.IfICmpGE(done)
+	a.LoadI(4)
+	a.ConstI(3)
+	a.MulI()
+	a.LoadI(3)
+	a.AddI()
+	a.StoreI(4)
+	a.GetStatic(total)
+	a.LoadI(3)
+	a.AddI()
+	a.PutStatic(total)
+	a.Inc(3, 1)
+	a.Goto(loop)
+	a.Bind(done)
+	a.LoadRef(1)
+	a.InvokeVirtual(threadCls.MethodByName("join"))
+	a.LoadRef(2)
+	a.InvokeVirtual(threadCls.MethodByName("join"))
+	a.LoadRef(0)
+	a.GetField(vField)
+	a.ConstI(1000)
+	a.MulI()
+	a.LoadI(4)
+	a.AddI()
+	a.GetStatic(total)
+	a.AddI()
+	a.Ret()
+	a.MustBuild()
+	return p
+}
+
+// snapExpected mirrors Snap.main in Go (32-bit wrapping arithmetic,
+// same as the VM's int ops).
+func snapExpected() int32 {
+	var acc, tot int32
+	for i := int32(0); i < snapMainIters; i++ {
+		acc = acc*3 + i
+		tot += i
+	}
+	var cv int32
+	for i := int32(1); i <= snapWorkerIters; i++ {
+		cv += i
+	}
+	cv *= 2 // two workers
+	return cv*1000 + acc + tot
+}
+
+// snapResult runs Snap.main to completion on a fresh machine and
+// returns (result, output) — the control every hand-off compares to.
+func snapResult(t *testing.T) (int32, string) {
+	t.Helper()
+	v, err := New(testConfig(), buildSnapProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := v.SubmitJob(JobSpec{Name: "snap", Class: "Snap", Method: "main"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WaitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	return int32(uint32(j.Root().Result)), j.Output()
+}
+
+// freezeAt submits Snap.main, drives the source to the given cycle and
+// freezes the job there. ErrJobDone (the job beat the freeze) is
+// reported via the bool.
+func freezeAt(t *testing.T, cycle cell.Clock) (*VM, *Job, *JobImage, bool) {
+	t.Helper()
+	src, err := New(testConfig(), buildSnapProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := src.SubmitJob(JobSpec{Name: "snap", Class: "Snap", Method: "main"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycle > 0 {
+		if err := src.RunUntil(cycle); err != nil {
+			t.Fatal(err)
+		}
+	}
+	img, err := src.FreezeJob(context.Background(), j)
+	if errors.Is(err, ErrJobDone) {
+		return src, j, nil, false
+	}
+	if err != nil {
+		t.Fatalf("freeze at %d: %v", cycle, err)
+	}
+	return src, j, img, true
+}
+
+// TestFreezeRehydrateMidRun is the hand-off differential: freeze the
+// job at a spread of cycles — admission time, mid-compute, deep into
+// the spawned threads' synchronized phase — rehydrate each image on an
+// identically configured fresh machine, and require the checksum and
+// captured output to match the never-frozen run exactly.
+func TestFreezeRehydrateMidRun(t *testing.T) {
+	wantRes, wantOut := snapResult(t)
+	if wantRes != snapExpected() {
+		t.Fatalf("control run checksum %d, mirror %d", wantRes, snapExpected())
+	}
+	froze := 0
+	for _, cycle := range []cell.Clock{0, 30_000, 80_000, 150_000, 300_000, 600_000} {
+		src, srcJob, img, ok := freezeAt(t, cycle)
+		if !ok {
+			continue // job completed before this freeze point
+		}
+		froze++
+		if !srcJob.Frozen() || srcJob.Done() {
+			t.Fatalf("cycle %d: frozen job state: frozen=%v done=%v", cycle, srcJob.Frozen(), srcJob.Done())
+		}
+		if err := src.WaitJob(srcJob); !errors.Is(err, ErrFrozen) {
+			t.Fatalf("cycle %d: WaitJob on frozen job = %v, want ErrFrozen", cycle, err)
+		}
+		if src.LiveThreads() != 0 {
+			t.Fatalf("cycle %d: %d live threads left on the source", cycle, src.LiveThreads())
+		}
+		if err := src.DrainJobs(); err != nil {
+			t.Fatalf("cycle %d: source drain after freeze: %v", cycle, err)
+		}
+
+		dst, err := New(testConfig(), buildSnapProg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dj, err := dst.RehydrateJob(img, 0)
+		if err != nil {
+			t.Fatalf("cycle %d: rehydrate: %v", cycle, err)
+		}
+		if err := dst.WaitJob(dj); err != nil {
+			t.Fatalf("cycle %d: rehydrated job: %v", cycle, err)
+		}
+		if got := int32(uint32(dj.Root().Result)); got != wantRes {
+			t.Errorf("cycle %d: checksum after hand-off = %d, want %d", cycle, got, wantRes)
+		}
+		if got := dj.Output(); got != wantOut {
+			t.Errorf("cycle %d: output after hand-off = %q, want %q", cycle, got, wantOut)
+		}
+		if dj.AdmittedAt != srcJob.AdmittedAt {
+			t.Errorf("cycle %d: admission cycle changed across hand-off: %d vs %d",
+				cycle, dj.AdmittedAt, srcJob.AdmittedAt)
+		}
+	}
+	if froze == 0 {
+		t.Fatal("every freeze point landed after job completion; test exercised nothing")
+	}
+}
+
+// TestFreezeRehydrateReplayIdentical: the whole freeze+rehydrate flow
+// is part of the deterministic schedule — two identical replays produce
+// the same image bytes and byte-identical target-side results.
+func TestFreezeRehydrateReplayIdentical(t *testing.T) {
+	run := func() ([]byte, cell.Clock, uint64, JobStats, string) {
+		_, _, img, ok := freezeAt(t, 80_000)
+		if !ok {
+			t.Fatal("job completed before the freeze point; pick an earlier cycle")
+		}
+		dst, err := New(testConfig(), buildSnapProg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dj, err := dst.RehydrateJob(img, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dst.WaitJob(dj); err != nil {
+			t.Fatal(err)
+		}
+		return EncodeJobImage(img), dj.CompletedAt, dj.Root().Result, dj.Stats, dj.Output()
+	}
+	b1, c1, r1, s1, o1 := run()
+	b2, c2, r2, s2, o2 := run()
+	if !reflect.DeepEqual(b1, b2) {
+		t.Error("image bytes differ across identical replays")
+	}
+	if c1 != c2 || r1 != r2 || o1 != o2 || s1 != s2 {
+		t.Errorf("target-side results differ across identical replays: (%d,%d,%+v,%q) vs (%d,%d,%+v,%q)",
+			c1, r1, s1, o1, c2, r2, s2, o2)
+	}
+}
+
+// TestFreezeCtxCancelAborts is the cancellation regression: a cancelled
+// context aborts an in-progress freeze cleanly — the parked threads
+// resume and the job runs to its normal completion on the source.
+func TestFreezeCtxCancelAborts(t *testing.T) {
+	wantRes, wantOut := snapResult(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	aborted := false
+	for _, cycle := range []cell.Clock{30_000, 80_000, 150_000} {
+		src, err := New(testConfig(), buildSnapProg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := src.SubmitJob(JobSpec{Name: "snap", Class: "Snap", Method: "main"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := src.RunUntil(cycle); err != nil {
+			t.Fatal(err)
+		}
+		_, err = src.FreezeJob(ctx, j)
+		switch {
+		case errors.Is(err, context.Canceled):
+			aborted = true
+		case err == nil:
+			// The job happened to sit at a safe point already — the ctx is
+			// only polled while driving. Not the case under test.
+			continue
+		case errors.Is(err, ErrJobDone):
+			continue
+		default:
+			t.Fatalf("cycle %d: freeze under cancelled ctx: %v", cycle, err)
+		}
+		if j.Frozen() {
+			t.Fatal("job marked frozen after an aborted freeze")
+		}
+		if err := src.WaitJob(j); err != nil {
+			t.Fatalf("job after aborted freeze: %v", err)
+		}
+		if got := int32(uint32(j.Root().Result)); got != wantRes {
+			t.Errorf("checksum after aborted freeze = %d, want %d", got, wantRes)
+		}
+		if got := j.Output(); got != wantOut {
+			t.Errorf("output after aborted freeze = %q, want %q", got, wantOut)
+		}
+	}
+	if !aborted {
+		t.Fatal("no freeze point exercised the cancellation path")
+	}
+}
+
+// TestFreezeDoneJob: freezing a completed job reports ErrJobDone.
+func TestFreezeDoneJob(t *testing.T) {
+	v, err := New(testConfig(), buildSnapProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := v.SubmitJob(JobSpec{Name: "snap", Class: "Snap", Method: "main"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := v.WaitJob(j); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.FreezeJob(context.Background(), j); !errors.Is(err, ErrJobDone) {
+		t.Fatalf("freeze of done job = %v, want ErrJobDone", err)
+	}
+}
+
+// TestFreezeCustomPolicyRefused: a job under a policy the image cannot
+// express is refused up front, before any driving.
+func TestFreezeCustomPolicyRefused(t *testing.T) {
+	v, err := New(testConfig(), buildTwoEntryProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := v.SubmitJob(JobSpec{Class: "EntryA", Method: "main", Policy: customPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.FreezeJob(context.Background(), j); !errors.Is(err, ErrNotFreezable) {
+		t.Fatalf("freeze under a custom policy = %v, want ErrNotFreezable", err)
+	}
+	if err := v.WaitJob(j); err != nil {
+		t.Fatalf("job after refused freeze: %v", err)
+	}
+}
+
+// customPolicy is an unserializable Policy implementation.
+type customPolicy struct{ AnnotationPolicy }
+
+// TestRehydrateOnDifferentTopology: the image recompiles for whatever
+// kinds the target machine has; a PPE-only target still completes the
+// job with the right checksum.
+func TestRehydrateOnDifferentTopology(t *testing.T) {
+	wantRes, wantOut := snapResult(t)
+	_, _, img, ok := freezeAt(t, 80_000)
+	if !ok {
+		t.Skip("job completed before the freeze point")
+	}
+	cfg := testConfig()
+	cfg.Machine.Topology = cell.PS3Topology(0)
+	dst, err := New(cfg, buildSnapProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dj, err := dst.RehydrateJob(img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.WaitJob(dj); err != nil {
+		t.Fatal(err)
+	}
+	if got := int32(uint32(dj.Root().Result)); got != wantRes {
+		t.Errorf("checksum on PPE-only target = %d, want %d", got, wantRes)
+	}
+	if got := dj.Output(); got != wantOut {
+		t.Errorf("output on PPE-only target = %q, want %q", got, wantOut)
+	}
+}
+
+// TestRehydrateRejectsCorruptImages: structurally invalid images error
+// out of RehydrateJob before any machine state changes.
+func TestRehydrateRejectsCorruptImages(t *testing.T) {
+	_, _, img, ok := freezeAt(t, 80_000)
+	if !ok {
+		t.Skip("job completed before the freeze point")
+	}
+	corrupt := []func(*JobImage){
+		func(i *JobImage) { i.Threads = nil },
+		func(i *JobImage) { i.Threads[0].Frames[0].Class = "NoSuchClass" },
+		func(i *JobImage) { i.Threads[0].Frames[0].Method = 99 },
+		func(i *JobImage) { i.Threads[0].Frames[0].BC = 1 << 20 },
+		func(i *JobImage) { i.Threads[0].JavaObj = 1 << 20 },
+		func(i *JobImage) { i.Threads[0].Joiners = []int32{42} },
+		func(i *JobImage) {
+			if len(i.Monitors) == 0 {
+				i.Monitors = []ImageMonitor{{}}
+			}
+			i.Monitors[0].Obj = 1 << 20
+		},
+		func(i *JobImage) {
+			if len(i.Statics) > 0 {
+				i.Statics[0].Slots = i.Statics[0].Slots[:0]
+			} else {
+				i.Threads = nil
+			}
+		},
+	}
+	for ci, mutate := range corrupt {
+		// Round-trip through the codec for a deep copy to mutate.
+		cp, err := DecodeJobImage(EncodeJobImage(img))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mutate(cp)
+		dst, err := New(testConfig(), buildSnapProg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := dst.LiveThreads()
+		if _, err := dst.RehydrateJob(cp, 0); err == nil {
+			t.Errorf("corruption %d: rehydrate accepted an invalid image", ci)
+		}
+		if dst.LiveThreads() != before {
+			t.Errorf("corruption %d: failed rehydrate leaked live threads", ci)
+		}
+	}
+}

@@ -167,7 +167,16 @@ func registerBuiltins(vm *VM) {
 		Fn: func(c *NativeCtx) error {
 			target := c.VM.byJavaObj[Ref(c.Args[0])]
 			if target == nil || target.State == StateTerminated {
-				return nil // not started or already dead: join returns
+				// Not started or already dead: join returns immediately —
+				// but it is still a synchronization edge. Acquire-purge the
+				// joiner's data cache so a stale clean copy cached on this
+				// core cannot shadow the dead thread's flushed writes (the
+				// blocked-join path gets the same purge via needPurge when
+				// the joiner wakes).
+				if dc := c.VM.dcaches[c.Core.Index]; dc != nil {
+					c.Core.Now = dc.Purge(c.Core.Now)
+				}
+				return nil
 			}
 			target.joiners = append(target.joiners, c.Thread)
 			c.Thread.State = StateBlocked
@@ -279,6 +288,15 @@ func (vm *VM) startJavaThread(c *NativeCtx, recv Ref) error {
 	}
 	t.JavaObj = recv
 	vm.byJavaObj[recv] = t
+	// start() is a synchronization edge: everything the spawner wrote
+	// happens-before the new thread's first action. Release-flush the
+	// spawner's data cache so those writes reach main memory, and mark
+	// the child to acquire-purge before it runs, so stale clean lines
+	// left on whichever core it lands on cannot shadow them.
+	if dc := vm.dcaches[c.Core.Index]; dc != nil {
+		c.Core.Now = dc.Flush(c.Core.Now)
+	}
+	t.needPurge = true
 	return nil
 }
 

@@ -207,6 +207,13 @@ type VM struct {
 
 	monitors map[Ref]*monitor
 
+	// pinned holds heap references kept alive across allocation bursts
+	// whose object graphs are not yet reachable from ordinary roots —
+	// RehydrateJob links a transferred graph object by object, and any
+	// allocation in the middle may trigger a collection. Scanned as GC
+	// roots; empty outside a rehydration.
+	pinned []Ref
+
 	natives map[string]*Native
 
 	policy  Policy
