@@ -23,6 +23,8 @@
 //	herabench -fig cluster -json BENCH_cluster.json -clustermin 2.0 # CI scaling gate
 //	herabench -fig cluster -handoff                     # inter-shard hand-off arm + replay gate
 //	herabench -fig cluster -timeout 10m -cpuprofile cpu.pprof       # guarded + profiled
+//	herabench -fig kernels                              # data-parallel offload: scalar vs Parallel.forRange
+//	herabench -fig kernels -json BENCH_kernels.json -kernelmin 2.0  # CI offload gate
 package main
 
 import (
@@ -43,7 +45,7 @@ type table interface{ Table() string }
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | topo | steal | migrate | serve | simspeed | cluster | all")
+		fig   = flag.String("fig", "all", "4a | 4b | 5 | 6 | 7 | a1 | a2 | a3 | a4 | topo | steal | migrate | serve | simspeed | cluster | kernels | all")
 		full  = flag.Bool("full", false, "paper-shaped workload sizes (slower)")
 		sched = flag.String("sched", "", "scheduler for every run: calendar | steal | migrate (default: calendar)")
 		topos = flag.String("topology", "",
@@ -52,6 +54,7 @@ func main() {
 		jsonPath = flag.String("json", "", "write the simspeed, serve or cluster sweep as JSON (BENCH_*.json shape) to this path")
 		baseline = flag.String("baseline", "", "simspeed: compare speedups against this baseline JSON; exit 1 on regression")
 		minscale = flag.Float64("clustermin", 0, "cluster: minimum parallel-vs-serial wall-clock speedup; exit 1 below it (0 = no gate)")
+		kernmin  = flag.Float64("kernelmin", 0, "kernels: minimum matmul kernel-vs-scalar cycle speedup on a VPU pool; exit 1 below it (0 = no gate)")
 		timeout  = flag.Duration("timeout", 0, "fail any figure still running after this long instead of hanging (0 = no limit)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the figure runs to this path")
 		memprof  = flag.String("memprofile", "", "write a heap profile (taken after the figure runs) to this path")
@@ -124,6 +127,7 @@ func main() {
 	var simspeed *experiments.SimSpeed
 	var serve *experiments.ServeSweep
 	var clusterSweep *experiments.ClusterSweep
+	var kernels *experiments.KernelsSweep
 	all := []experiment{
 		{"4a", func(o experiments.Options) (table, error) { return experiments.RunFig4a(o) }},
 		{"4b", func(o experiments.Options) (table, error) { return experiments.RunFig4b(o) }},
@@ -155,6 +159,13 @@ func main() {
 			s, err := experiments.RunCluster(o)
 			if err == nil {
 				clusterSweep = s
+			}
+			return s, err
+		}},
+		{"kernels", func(o experiments.Options) (table, error) {
+			s, err := experiments.RunKernels(o)
+			if err == nil {
+				kernels = s
 			}
 			return s, err
 		}},
@@ -190,6 +201,25 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "serve json: %v\n", err)
 			os.Exit(1)
+		}
+	}
+	if kernels != nil {
+		if *jsonPath != "" && simspeed == nil && serve == nil && clusterSweep == nil {
+			out, err := kernels.JSON()
+			if err == nil {
+				err = os.WriteFile(*jsonPath, out, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "kernels json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *kernmin > 0 {
+			if err := kernels.CheckKernelMin(*kernmin); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Println("kernel offload gate: ok")
 		}
 	}
 	if clusterSweep != nil {

@@ -13,6 +13,7 @@
 //	herajvm -workload compress -sched migrate        # + cost-gated cross-kind migration
 //	herajvm -workload mandelbrot -topology ppe:2,spe:2       # asymmetric machine
 //	herajvm -workload mandelbrot -topology ppe:1,spe:4,vpu:2 # three core kinds
+//	herajvm -workload matmul -topology ppe:1,spe:4,vpu:2     # Parallel.forRange kernel launch
 //
 // With -jobs or -trace set, herajvm serves the workload open-loop
 // instead of running it once: jobs arrive on a seeded trace, each
@@ -44,7 +45,8 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "mandelbrot", "compress | mpegaudio | mandelbrot")
+		workload = flag.String("workload", "mandelbrot",
+			"compress | mpegaudio | mandelbrot, or a kernel workload: matmul | nbody | kmeans")
 		spes     = flag.Int("spes", 6, "number of SPE cores beside one PPE (0 = run everything on the PPE)")
 		topology = flag.String("topology", "", `machine topology, e.g. "ppe:1,spe:6" (overrides -spes)`)
 		threads  = flag.Int("threads", 0, "worker threads (default: one per worker core)")
@@ -91,7 +93,9 @@ func main() {
 		}
 		opt.Scheduler = *sched
 		opt.Topologies = []hera.Topology{topo}
-		opt.ServeWorkloads = []string{*workload}
+		if len(opt.ServeWorkloads) == 0 {
+			opt.ServeWorkloads = []string{*workload}
+		}
 		if serveFlags.Shards != "" {
 			sweep, err := experiments.RunCluster(opt)
 			if err != nil {

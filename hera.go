@@ -328,6 +328,10 @@ func BootCluster(cfg ClusterConfig, shards []ShardConfig) (*Cluster, error) {
 type (
 	// Workload is one of the paper's three benchmarks.
 	Workload = workloads.Spec
+	// KernelWorkload is a data-parallel showcase workload with a
+	// hera/Parallel.forRange entry class and a scalar twin running the
+	// identical body sequentially (matmul, nbody, kmeans).
+	KernelWorkload = workloads.KernelSpec
 	// ExperimentOptions sizes experiment runs.
 	ExperimentOptions = experiments.Options
 )
@@ -336,8 +340,18 @@ type (
 // mandelbrot).
 func Workloads() []Workload { return workloads.All() }
 
-// WorkloadByName finds one benchmark by name.
+// WorkloadByName finds one benchmark by name. Kernel workload names
+// resolve to their forRange variant, so serve traces and job mixes can
+// interleave data-parallel launches with the paper workloads.
 func WorkloadByName(name string) (Workload, error) { return workloads.ByName(name) }
+
+// KernelWorkloads returns the data-parallel kernel workloads.
+func KernelWorkloads() []KernelWorkload { return workloads.Kernels() }
+
+// KernelWorkloadByName finds one kernel workload by name.
+func KernelWorkloadByName(name string) (KernelWorkload, error) {
+	return workloads.KernelByName(name)
+}
 
 // QuickExperiments returns reduced-size experiment options;
 // FullExperiments the paper-shaped defaults.

@@ -349,6 +349,68 @@ func (d *DataCache) WriteArray(now cell.Clock, dataAddr mem.Addr, dataSize, off,
 	return now
 }
 
+// StageArray prefetches an array data section [dataAddr,
+// dataAddr+dataSize) into the cache as the same ArrayBlock-aligned
+// tiles a demand miss would fill, up to maxBytes of newly staged data
+// — the double-buffered DMA staging a kernel worker performs before
+// computing its chunk. The timing models a double buffer: the worker
+// blocks for the first missing tile's full DMA round trip (nothing to
+// overlap it with), and every later tile is prefetched while the
+// previous one computes, so the worker's clock advances only by the
+// probe/insert bookkeeping while the payload still occupies the EIB at
+// issue time (concurrent workers contend for the bus for real, and
+// every staged byte is billed to DMATransfers/DMABytes/DataStaged).
+// Staging never evicts: it stops before the cache or its lookup table
+// would flush, leaving the rest to ordinary demand misses. It returns
+// the advanced clock and the bytes staged.
+func (d *DataCache) StageArray(now cell.Clock, dataAddr mem.Addr, dataSize, maxBytes uint32) (cell.Clock, uint32) {
+	blk := d.cfg.ArrayBlock
+	var staged uint32
+	first := true
+	for start := uint32(0); start < dataSize; start += blk {
+		size := blk
+		if dataSize-start < size {
+			size = dataSize - start
+		}
+		if staged+size > maxBytes {
+			break
+		}
+		d.core.Stats.Charge(isa.ClassLocalMem, uint64(d.cfg.ProbeCycles))
+		now += cell.Clock(d.cfg.ProbeCycles)
+		if d.dcLookup(dataAddr+start) >= 0 {
+			continue // already resident (e.g. staged for a previous launch)
+		}
+		if d.bump+size > d.cfg.Size || d.live >= d.cfg.MaxEntries {
+			break // never flush on a prefetch path
+		}
+		lsAddr := d.base + d.bump
+		d.bump += (size + 15) &^ 15
+		d.core.Stats.Charge(isa.ClassLocalMem, uint64(d.cfg.InsertCycles))
+		now += cell.Clock(d.cfg.InsertCycles)
+
+		done := d.core.MFC.DMA(now, cell.DMAGet, dataAddr+start, lsAddr, size)
+		d.core.Stats.DMATransfers++
+		d.core.Stats.DMABytes += uint64(size)
+		d.core.Stats.DataStaged += uint64(size)
+		if first {
+			// The leading tile is the synchronous fill of the double
+			// buffer; the worker stalls until it lands.
+			d.core.Stats.DMAWait += done - now
+			d.core.Stats.Charge(isa.ClassMainMem, done-now)
+			now = done
+			first = false
+		}
+
+		idx := int32(len(d.slab))
+		d.slab = append(d.slab, dcEntry{mainAddr: dataAddr + start, lsAddr: lsAddr, size: size})
+		d.dcInsert(dataAddr+start, idx)
+		d.live++
+		d.order = append(d.order, idx)
+		staged += size
+	}
+	return now, staged
+}
+
 // flushAll writes back every dirty entry (in insertion order, which the
 // order slice preserves across retirements) and, when invalidate is set,
 // drops all entries and resets the bump pointer. Invalidation bumps the

@@ -79,6 +79,12 @@ type Result struct {
 	// triggered it, so serving percentiles cannot hide GC.
 	GCPauses uint64
 	GCCycles uint64
+	// KernelLaunches, KernelWorkers and KernelDMABytes count the job's
+	// hera/Parallel.forRange launches, the SPMD workers they fanned out,
+	// and the scratchpad staging DMA billed to those workers.
+	KernelLaunches uint64
+	KernelWorkers  uint64
+	KernelDMABytes uint64
 }
 
 // Run executes a static entry method to completion: a thin wrapper

@@ -208,6 +208,10 @@ func (j *Job) Wait() (*Result, error) {
 		Compiles:    in.Stats.Compiles,
 		GCPauses:    in.Stats.GCPauses,
 		GCCycles:    in.Stats.GCCycles,
+
+		KernelLaunches: in.Stats.KernelLaunches,
+		KernelWorkers:  in.Stats.KernelWorkers,
+		KernelDMABytes: in.Stats.KernelDMABytes,
 	}
 	if root := in.Root(); root != nil {
 		j.res.Value = root.Result

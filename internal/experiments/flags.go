@@ -19,6 +19,10 @@ type ServeFlags struct {
 	Seed       uint64
 	Deadline   uint64
 	MaxPending int
+	// Workloads restricts the serve/cluster job mix to a comma-separated
+	// list of workload names; kernel workloads (matmul, nbody, kmeans)
+	// are accepted and enter the mix as forRange launches.
+	Workloads string
 	// Shards is the cluster fleet spec, one topology per shard
 	// ("ppe:1,spe:6;ppe:1,spe:4,vpu:2"); Stride the epoch-barrier
 	// stride in cycles.
@@ -41,6 +45,8 @@ func BindServeFlags(fs *flag.FlagSet) *ServeFlags {
 	fs.Uint64Var(&f.Seed, "seed", 0, "serve: arrival-trace PRNG seed (0 = default)")
 	fs.Uint64Var(&f.Deadline, "deadline", 0, "serve: per-job completion deadline in cycles relative to admission (0 = default)")
 	fs.IntVar(&f.MaxPending, "maxpending", 0, "serve: admission queue-depth backstop for shedding runs (0 = default)")
+	fs.StringVar(&f.Workloads, "workloads", "",
+		`serve/cluster: comma-separated job-mix workloads, e.g. "compress,matmul,kmeans" ("" = the paper mix)`)
 	fs.StringVar(&f.Shards, "shards", "",
 		`cluster: semicolon-separated per-shard machine shapes, e.g. "ppe:1,spe:6;ppe:1,spe:4,vpu:2" ("" = four default serve shards)`)
 	fs.Uint64Var(&f.Stride, "stride", 0, "cluster: epoch-barrier stride in cycles (0 = default)")
@@ -58,6 +64,9 @@ func (f *ServeFlags) Apply(o *Options) error {
 	o.ServeSeed = f.Seed
 	o.ServeDeadline = f.Deadline
 	o.ServeMaxPending = f.MaxPending
+	if f.Workloads != "" {
+		o.ServeWorkloads = strings.Split(f.Workloads, ",")
+	}
 	o.EpochStride = f.Stride
 	o.Handoff = f.Handoff
 	if f.Shards != "" {

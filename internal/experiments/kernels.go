@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"herajvm/internal/cell"
+	"herajvm/internal/kernel"
+	"herajvm/internal/vm"
+	"herajvm/internal/workloads"
+)
+
+// KernelsSweep is the data-parallel offload ablation: every showcase
+// kernel workload (matmul, nbody, kmeans) run scalar and kernel on
+// each topology, with the checksums differentially checked against the
+// pure-Go reference. The speedup column is simulated cycles — the
+// claim under test is that fanning the iteration space out over the
+// planner's chosen pool (the VPUs when present, SPEs otherwise) beats
+// the sequential run of the identical body, with the staging DMA
+// billed, not free.
+type KernelsSweep struct {
+	Rows []KernelsRow `json:"rows"`
+}
+
+// KernelsRow is one (workload, topology) cell of the sweep.
+type KernelsRow struct {
+	Workload string `json:"workload"`
+	Topology string `json:"topology"`
+	// Pool is the core kind the launch planner picks on this topology.
+	Pool string `json:"pool"`
+	// ScalarCycles/KernelCycles are the two variants' simulated
+	// completion times; Speedup is their ratio.
+	ScalarCycles uint64  `json:"scalar_cycles"`
+	KernelCycles uint64  `json:"kernel_cycles"`
+	Speedup      float64 `json:"speedup"`
+	// Workers and DMABytes are the kernel job's fan-out width and the
+	// staging DMA billed against it.
+	Workers  uint64 `json:"workers"`
+	DMABytes uint64 `json:"dma_bytes"`
+	// Checksum is the (shared) checksum; Valid demands scalar, kernel
+	// and the Go reference all agree.
+	Checksum int32 `json:"checksum"`
+	Valid    bool  `json:"valid"`
+}
+
+// DefaultKernelTopologies returns the ablation's machine shapes: the
+// paper's PS3 baseline (the kernel falls back to the SPE pool) and the
+// VPU-bearing showcase machine the planner routes onto the vector
+// cores.
+func DefaultKernelTopologies() []cell.Topology {
+	return []cell.Topology{cell.PS3Topology(6), DefaultSimSpeedTopology()}
+}
+
+// runKernelVariant builds one variant of a kernel workload and runs it
+// as a job on a fresh machine, so the job-level kernel accounting
+// (workers, staging DMA) is observable.
+func runKernelVariant(opt Options, k workloads.KernelSpec, kernelVariant bool,
+	scale int, topo cell.Topology) (*vm.Job, error) {
+
+	if err := opt.interrupted(); err != nil {
+		return nil, err
+	}
+	prog, err := k.Build(scale)
+	if err != nil {
+		return nil, err
+	}
+	cfg := vm.DefaultConfig()
+	cfg.Machine.Topology = topo
+	if opt.Scheduler != "" {
+		cfg.Scheduler = opt.Scheduler
+	}
+	machine, err := vm.New(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	entry := k.ScalarClass
+	if kernelVariant {
+		entry = k.KernelClass
+	}
+	j, err := machine.SubmitJob(vm.JobSpec{Name: entry, Class: entry, Method: "main"})
+	if err != nil {
+		return nil, err
+	}
+	if err := machine.WaitJob(j); err != nil {
+		return nil, fmt.Errorf("%s/%s (%s): %w", k.Name, entry, topo, err)
+	}
+	return j, nil
+}
+
+// poolKindFor replays the launch planner's pool choice for a topology
+// (the same ChoosePool the VM calls), so the table can name the pool
+// without instrumenting the launch path.
+func poolKindFor(topo cell.Topology) string {
+	pools := make([]kernel.Pool, 0, len(topo))
+	for _, e := range topo {
+		pools = append(pools, kernel.Pool{Kind: e.Kind, Cores: e.Count})
+	}
+	if p, ok := kernel.ChoosePool(pools); ok {
+		return strings.ToLower(p.Kind.String())
+	}
+	return "none"
+}
+
+// RunKernels executes the kernel offload ablation: workloads x
+// topologies, scalar vs kernel. Options.Topologies overrides the
+// machine shapes; Options.ScaleOverride the per-workload scales.
+func RunKernels(opt Options) (*KernelsSweep, error) {
+	topos := DefaultKernelTopologies()
+	if len(opt.Topologies) > 0 {
+		topos = opt.Topologies
+	}
+	out := &KernelsSweep{}
+	for _, k := range workloads.Kernels() {
+		scale := k.DefaultScale
+		if v, ok := opt.ScaleOverride[k.Name]; ok && v > 0 {
+			scale = v
+		}
+		want := k.Reference(scale)
+		for _, topo := range topos {
+			sj, err := runKernelVariant(opt, k, false, scale, topo)
+			if err != nil {
+				return nil, err
+			}
+			kj, err := runKernelVariant(opt, k, true, scale, topo)
+			if err != nil {
+				return nil, err
+			}
+			sChk := int32(uint32(sj.Root().Result))
+			kChk := int32(uint32(kj.Root().Result))
+			row := KernelsRow{
+				Workload:     k.Name,
+				Topology:     topo.String(),
+				Pool:         poolKindFor(topo),
+				ScalarCycles: uint64(sj.Cycles()),
+				KernelCycles: uint64(kj.Cycles()),
+				Workers:      kj.Stats.KernelWorkers,
+				DMABytes:     kj.Stats.KernelDMABytes,
+				Checksum:     kChk,
+				Valid:        sChk == want && kChk == want && kj.Stats.KernelLaunches == 1,
+			}
+			if row.KernelCycles > 0 {
+				row.Speedup = float64(row.ScalarCycles) / float64(row.KernelCycles)
+			}
+			opt.logf("kernels %s on %s: %.2fx (%d scalar vs %d kernel cycles, %d workers on %s, %d B DMA, valid %v)",
+				k.Name, row.Topology, row.Speedup, row.ScalarCycles, row.KernelCycles,
+				row.Workers, row.Pool, row.DMABytes, row.Valid)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// Table renders the ablation as text. Every column is simulated state,
+// so the output replays byte for byte.
+func (s *KernelsSweep) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Data-parallel kernel offload: scalar vs Parallel.forRange (simulated cycles)\n")
+	fmt.Fprintf(&b, "%-10s %-18s %-5s %14s %14s %8s %8s %10s %6s\n",
+		"kernel", "topology", "pool", "scalar", "kernel", "speedup", "workers", "dma B", "valid")
+	for _, r := range s.Rows {
+		fmt.Fprintf(&b, "%-10s %-18s %-5s %14d %14d %7.2fx %8d %10d %6v\n",
+			r.Workload, r.Topology, r.Pool, r.ScalarCycles, r.KernelCycles,
+			r.Speedup, r.Workers, r.DMABytes, r.Valid)
+	}
+	return b.String()
+}
+
+// JSON renders the sweep in the BENCH_kernels.json shape.
+func (s *KernelsSweep) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// CheckKernelMin gates the sweep: every row must be differentially
+// valid, every kernel run must have billed staging DMA on a local-store
+// pool, and matmul's speedup on each VPU-bearing topology must clear
+// min (the CI floor; the acceptance claim is >= 2x on ppe:1,spe:4,vpu:2).
+func (s *KernelsSweep) CheckKernelMin(min float64) error {
+	var problems []string
+	var gated bool
+	for _, r := range s.Rows {
+		if !r.Valid {
+			problems = append(problems,
+				fmt.Sprintf("%s on %s: checksum mismatch between scalar, kernel and reference",
+					r.Workload, r.Topology))
+		}
+		if r.DMABytes == 0 {
+			problems = append(problems,
+				fmt.Sprintf("%s on %s: kernel billed no staging DMA", r.Workload, r.Topology))
+		}
+		if r.Workload == "matmul" && r.Pool == "vpu" {
+			gated = true
+			if r.Speedup < min {
+				problems = append(problems, fmt.Sprintf(
+					"matmul on %s: speedup %.2fx below the %.2fx floor", r.Topology, r.Speedup, min))
+			}
+		}
+	}
+	if !gated {
+		problems = append(problems, "no matmul row ran on a VPU pool — the gate never applied")
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("kernels gate:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}

@@ -51,6 +51,11 @@ var serveScales = map[string]int{
 	"compress":   1,
 	"mpegaudio":  2,
 	"mandelbrot": 1,
+	// Kernel workloads (resolved through the workloads.ByName fallback)
+	// serve at their smallest size: each job is one forRange launch.
+	"matmul": 1,
+	"nbody":  1,
+	"kmeans": 1,
 }
 
 // DefaultServeTopology returns the serve driver's machine: a

@@ -1,0 +1,77 @@
+package kernel
+
+import (
+	"testing"
+
+	"herajvm/internal/isa"
+)
+
+// FuzzPlan throws arbitrary launch descriptors (iteration range, pool
+// shapes, tiling parameters) at the planner and asserts the structural
+// invariants every launch depends on: exact coverage, no overlap,
+// worker ids dense, tiles covering the byte extent. The VM trusts
+// these invariants without rechecking, so the fuzzer is the backstop.
+func FuzzPlan(f *testing.F) {
+	f.Add(int32(0), int32(1024), 1, 4, 2, uint32(4096), uint32(1024))
+	f.Add(int32(-50), int32(50), 1, 6, 0, uint32(100), uint32(0))
+	f.Add(int32(7), int32(7), 0, 0, 0, uint32(0), uint32(128))
+	f.Add(int32(-2147483648), int32(2147483647), 1, 255, 255, uint32(1), uint32(1))
+	f.Fuzz(func(t *testing.T, from, to int32, ppe, spe, vpu int, total, tileBytes uint32) {
+		// Clamp pool sizes to plausible machine shapes; negative core
+		// counts must simply be skipped, so pass them through too.
+		if ppe > 1024 {
+			ppe = 1024
+		}
+		if spe > 1024 {
+			spe = 1024
+		}
+		if vpu > 1024 {
+			vpu = 1024
+		}
+		pools := []Pool{
+			{Kind: isa.PPE, Cores: ppe},
+			{Kind: isa.SPE, Cores: spe},
+			{Kind: isa.VPU, Cores: vpu},
+		}
+		plan, ok := PlanLaunch(from, to, pools)
+		if !ok {
+			if ppe > 0 || spe > 0 || vpu > 0 {
+				t.Fatalf("PlanLaunch refused with cores available: %v", pools)
+			}
+			return
+		}
+		if err := plan.Validate(from, to); err != nil {
+			t.Fatalf("plan invalid: %v (from=%d to=%d pools=%v)", err, from, to, pools)
+		}
+		// A planned chunk count never exceeds the chosen pool's cores.
+		for _, p := range pools {
+			if p.Kind == plan.Kind && len(plan.Chunks) > p.Cores {
+				t.Fatalf("%d chunks exceed %d cores of %v", len(plan.Chunks), p.Cores, p.Kind)
+			}
+		}
+
+		if total > 1<<24 {
+			total %= 1 << 24
+		}
+		if tileBytes > 1<<20 {
+			tileBytes %= 1 << 20
+		}
+		tiles := Tiles(total, tileBytes)
+		var covered uint32
+		for i, tl := range tiles {
+			if tl.Off != covered {
+				t.Fatalf("tile %d off %d, want %d", i, tl.Off, covered)
+			}
+			if tl.Len == 0 {
+				t.Fatalf("tile %d empty", i)
+			}
+			if tileBytes != 0 && tl.Len > tileBytes && total > tileBytes {
+				t.Fatalf("tile %d len %d exceeds budget %d", i, tl.Len, tileBytes)
+			}
+			covered += tl.Len
+		}
+		if covered != total {
+			t.Fatalf("tiles cover %d of %d bytes", covered, total)
+		}
+	})
+}

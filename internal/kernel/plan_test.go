@@ -1,0 +1,122 @@
+package kernel
+
+import (
+	"testing"
+
+	"herajvm/internal/isa"
+)
+
+func TestSplitRangeCoverage(t *testing.T) {
+	cases := []struct {
+		from, to int32
+		workers  int
+		want     int
+	}{
+		{0, 100, 4, 4},
+		{0, 3, 8, 3},    // more workers than iterations
+		{5, 5, 4, 0},    // empty range
+		{10, 9, 4, 0},   // inverted range
+		{-8, 8, 3, 3},   // negative start
+		{0, 7, 2, 2},    // odd split
+		{0, 1, 1, 1},    // singleton
+		{0, 1000, 6, 6}, // ppe:1,spe:6 shape
+	}
+	for _, c := range cases {
+		chunks := SplitRange(c.from, c.to, c.workers)
+		if len(chunks) != c.want {
+			t.Fatalf("SplitRange(%d,%d,%d) = %d chunks, want %d",
+				c.from, c.to, c.workers, len(chunks), c.want)
+		}
+		p := Plan{Kind: isa.SPE, Chunks: chunks}
+		if err := p.Validate(c.from, c.to); err != nil {
+			t.Fatalf("SplitRange(%d,%d,%d): %v", c.from, c.to, c.workers, err)
+		}
+	}
+}
+
+func TestSplitRangeBalance(t *testing.T) {
+	chunks := SplitRange(0, 10, 4)
+	sizes := []int32{}
+	for _, c := range chunks {
+		sizes = append(sizes, c.To-c.From)
+	}
+	// Remainder front-loaded: 3,3,2,2.
+	want := []int32{3, 3, 2, 2}
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("sizes = %v, want %v", sizes, want)
+		}
+	}
+}
+
+func TestChoosePoolPrefersVPU(t *testing.T) {
+	pools := []Pool{
+		{Kind: isa.PPE, Cores: 1},
+		{Kind: isa.SPE, Cores: 4},
+		{Kind: isa.VPU, Cores: 2},
+	}
+	best, ok := ChoosePool(pools)
+	if !ok || best.Kind != isa.VPU {
+		t.Fatalf("ChoosePool = %v,%v, want VPU pool", best, ok)
+	}
+}
+
+func TestChoosePoolSPEOverPPE(t *testing.T) {
+	pools := []Pool{
+		{Kind: isa.PPE, Cores: 1},
+		{Kind: isa.SPE, Cores: 6},
+	}
+	best, ok := ChoosePool(pools)
+	if !ok || best.Kind != isa.SPE {
+		t.Fatalf("ChoosePool = %v,%v, want SPE pool", best, ok)
+	}
+}
+
+func TestChoosePoolFallsBackToPPE(t *testing.T) {
+	best, ok := ChoosePool([]Pool{{Kind: isa.PPE, Cores: 1}, {Kind: isa.SPE, Cores: 0}})
+	if !ok || best.Kind != isa.PPE {
+		t.Fatalf("ChoosePool = %v,%v, want PPE pool", best, ok)
+	}
+	if _, ok := ChoosePool(nil); ok {
+		t.Fatal("ChoosePool(nil) reported a pool")
+	}
+}
+
+func TestPlanLaunch(t *testing.T) {
+	plan, ok := PlanLaunch(0, 64, []Pool{{Kind: isa.PPE, Cores: 1}, {Kind: isa.SPE, Cores: 6}})
+	if !ok {
+		t.Fatal("PlanLaunch failed")
+	}
+	if plan.Kind != isa.SPE || len(plan.Chunks) != 6 {
+		t.Fatalf("plan = %+v, want 6 SPE chunks", plan)
+	}
+	if err := plan.Validate(0, 64); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTiles(t *testing.T) {
+	tiles := Tiles(2500, 1024)
+	if len(tiles) != 3 {
+		t.Fatalf("Tiles(2500,1024) = %d tiles, want 3", len(tiles))
+	}
+	var covered uint32
+	for i, tl := range tiles {
+		if tl.Off != covered {
+			t.Fatalf("tile %d off %d, want %d", i, tl.Off, covered)
+		}
+		if tl.Len == 0 {
+			t.Fatalf("tile %d empty", i)
+		}
+		covered += tl.Len
+	}
+	if covered != 2500 {
+		t.Fatalf("tiles cover %d bytes, want 2500", covered)
+	}
+	if got := Tiles(100, 0); len(got) != 1 || got[0].Len != 100 {
+		t.Fatalf("Tiles(100,0) = %v, want one full tile", got)
+	}
+	if got := Tiles(0, 1024); got != nil {
+		t.Fatalf("Tiles(0,1024) = %v, want nil", got)
+	}
+}

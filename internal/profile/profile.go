@@ -47,6 +47,10 @@ type CoreStats struct {
 	DMATransfers uint64
 	DMABytes     uint64
 	DMAWait      uint64 // cycles stalled waiting on DMA completion
+	// DataStaged counts bytes a kernel worker prefetched into its data
+	// cache by double-buffered tile staging — a subset of DMABytes that
+	// makes kernel DMA traffic visible separately from demand misses.
+	DataStaged uint64
 
 	// Thread events. Migrations cross core kinds (a placement-policy
 	// decision); steals move a queued thread between same-kind cores
@@ -110,6 +114,7 @@ func (s *CoreStats) Add(o *CoreStats) {
 	s.DMATransfers += o.DMATransfers
 	s.DMABytes += o.DMABytes
 	s.DMAWait += o.DMAWait
+	s.DataStaged += o.DataStaged
 	s.MigrationsIn += o.MigrationsIn
 	s.MigrationsOut += o.MigrationsOut
 	s.StealsIn += o.StealsIn

@@ -113,19 +113,26 @@ type Calendar struct {
 	cals   []coreCalendar // indexed by Core.Index
 	seq    uint64         // global enqueue sequence (tie-break)
 	costOf func(Task, *cell.Core) uint64
+	pinned func(Task) bool
 }
 
 // NewCalendar builds the calendar scheduler over the machine's cores
-// (topology order; cores[i].Index == i). Of the Options only CostOf is
+// (topology order; cores[i].Index == i). Of the Options CostOf is
 // consumed — it sharpens DrainEstimate from the bare core clock to
-// clock plus predicted queue-drain cycles.
+// clock plus predicted queue-drain cycles — and Pinned marks the tasks
+// the stealing/migrating layers must leave where they are.
 func NewCalendar(cores []*cell.Core, opt Options) *Calendar {
 	return &Calendar{
 		cores:  cores,
 		cals:   make([]coreCalendar, len(cores)),
 		costOf: opt.CostOf,
+		pinned: opt.Pinned,
 	}
 }
+
+// isPinned reports whether a task may never leave the core it is
+// queued on (no Pinned hook means nothing is pinned).
+func (s *Calendar) isPinned(t Task) bool { return s.pinned != nil && s.pinned(t) }
 
 // Name implements Scheduler.
 func (s *Calendar) Name() string { return "calendar" }
@@ -228,10 +235,23 @@ func (s *Calendar) earliestStart(coreIndex int, now cell.Clock) (cell.Clock, boo
 }
 
 // stealOldestReady removes and returns the oldest (lowest enqueue
-// sequence) ready task of a core. The caller must have seen
-// readyCount > 0 at the same clock.
-func (s *Calendar) stealOldestReady(coreIndex int) Task {
-	return heap.Pop(&s.cals[coreIndex].ready).(calEntry).t
+// sequence) stealable ready task of a core. Pinned tasks are skipped;
+// ok is false when every ready task is pinned (or none is ready).
+func (s *Calendar) stealOldestReady(coreIndex int) (Task, bool) {
+	c := &s.cals[coreIndex]
+	best := -1
+	for i := range c.ready {
+		if s.isPinned(c.ready[i].t) {
+			continue
+		}
+		if best < 0 || c.ready[i].seq < c.ready[best].seq {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, false
+	}
+	return heap.Remove(&c.ready, best).(calEntry).t, true
 }
 
 // readyWait is one entry of readyByWait: a ready task, its (unique)

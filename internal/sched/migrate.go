@@ -114,6 +114,9 @@ func (s *Migrating) migratePass() {
 		// Try the victim's ready threads longest predicted wait first;
 		// the first migratable gate winner moves.
 		for _, cand := range s.readyByWait(victim.Index, victim.Now) {
+			if s.isPinned(cand.t) {
+				continue // pinned kernel workers never leave their core
+			}
 			recompile, ok := s.recompile(cand.t, thief)
 			if !ok {
 				// Not migratable right now: a frame mid-expansion,

@@ -68,6 +68,15 @@ type Options struct {
 	// cross-kind migration.
 	CostOf func(task Task, core *cell.Core) uint64
 
+	// Pinned, when non-nil, reports that a task is pinned to the core
+	// it is queued on and must not be stolen or migrated (the VM pins
+	// data-parallel kernel workers one-per-core: their chunk assignment
+	// and staged local-store tiles are part of the launch plan, and
+	// moving one would silently re-shape the fan-out). Pinned tasks
+	// still count toward Load and DrainEstimate — they occupy the core
+	// either way. nil means nothing is pinned.
+	Pinned func(task Task) bool
+
 	// RecompileCost, when non-nil, reports whether task could execute
 	// on core to's kind right now (all frames at kind-independent
 	// resume points, a compiler present) and, if so, the predicted

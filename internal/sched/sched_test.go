@@ -247,6 +247,50 @@ func TestStealTakesOneTaskAtATime(t *testing.T) {
 	}
 }
 
+// TestPinnedTasksAreNeverStolen: a pinned task (a kernel worker bound
+// to its chunk's core) must stay put even when an idle same-kind
+// sibling would otherwise steal it; unpinned tasks on the same victim
+// remain stealable.
+func TestPinnedTasksAreNeverStolen(t *testing.T) {
+	cores := mkCores(isa.SPE, isa.SPE)
+	victim, thief := cores[0], cores[1]
+	type task struct{ pinned bool }
+	p1, p2, p3 := &task{true}, &task{true}, &task{true}
+	s, _ := New("steal", cores, Options{
+		StealCycles: 10,
+		Pinned:      func(x Task) bool { return x.(*task).pinned },
+	})
+	s.Enqueue(victim, p1, 0)
+	s.Enqueue(victim, p2, 0)
+	s.Enqueue(victim, p3, 0)
+	s.PickNext()
+	if thief.Stats.StealsIn != 0 || victim.Stats.StealsOut != 0 {
+		t.Fatalf("pinned tasks were stolen: in=%d out=%d",
+			thief.Stats.StealsIn, victim.Stats.StealsOut)
+	}
+
+	// An unpinned task among pinned ones is still stealable — and the
+	// thief takes the oldest *stealable* one, not the oldest overall.
+	free := &task{false}
+	s.Enqueue(victim, free, 0)
+	var stolen Task
+	s2, _ := New("steal", cores, Options{
+		StealCycles: 10,
+		Pinned:      func(x Task) bool { return x.(*task).pinned },
+		OnSteal: func(x Task, _, _ *cell.Core, at cell.Clock) cell.Clock {
+			stolen = x
+			return at
+		},
+	})
+	s2.Enqueue(victim, p1, 0)
+	s2.Enqueue(victim, free, 0)
+	s2.Enqueue(victim, p2, 0)
+	s2.PickNext()
+	if stolen != free {
+		t.Errorf("stole %v, want the unpinned task", stolen)
+	}
+}
+
 // TestStealNeverRewindsVictimClock: a thief whose clock lags the
 // victim must not start the stolen task before the victim's clock —
 // the first simulated moment the victim's state can be published.

@@ -83,7 +83,11 @@ func (s *Stealing) stealPass() {
 			// The thief's own queued work begins no later: not profitable.
 			continue
 		}
-		task := s.stealOldestReady(victim.Index)
+		task, ok := s.stealOldestReady(victim.Index)
+		if !ok {
+			// Every ready task on the victim is pinned in place.
+			continue
+		}
 		victim.Stats.StealsOut++
 		thief.Stats.StealsIn++
 		at := stealStart

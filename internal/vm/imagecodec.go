@@ -22,7 +22,7 @@ import (
 // version on any format change; the decoder rejects others.
 var imageMagic = [4]byte{'H', 'J', 'I', 'M'}
 
-const imageVersion uint16 = 1
+const imageVersion uint16 = 2 // v2: kernel launch counters in JobStats
 
 // ErrBadImage reports undecodable JobImage bytes (truncated input,
 // wrong magic or version, a length that overruns the buffer). Match
@@ -211,6 +211,9 @@ func EncodeJobImage(img *JobImage) []byte {
 	w.u64(img.Stats.Compiles)
 	w.u64(img.Stats.GCPauses)
 	w.u64(img.Stats.GCCycles)
+	w.u64(img.Stats.KernelLaunches)
+	w.u64(img.Stats.KernelWorkers)
+	w.u64(img.Stats.KernelDMABytes)
 	w.bytes(img.Output)
 
 	w.u8(img.Policy.Tag)
@@ -323,6 +326,9 @@ func DecodeJobImage(data []byte) (*JobImage, error) {
 	img.Stats.Compiles = r.u64()
 	img.Stats.GCPauses = r.u64()
 	img.Stats.GCCycles = r.u64()
+	img.Stats.KernelLaunches = r.u64()
+	img.Stats.KernelWorkers = r.u64()
+	img.Stats.KernelDMABytes = r.u64()
 	img.Output = r.bytes()
 
 	img.Policy.Tag = r.u8()

@@ -35,6 +35,14 @@ type JobStats struct {
 	// VM.GCCycles.
 	GCPauses uint64
 	GCCycles uint64
+	// KernelLaunches counts Parallel.forRange fan-outs the job's threads
+	// issued; KernelWorkers the SPMD workers those launches spawned; and
+	// KernelDMABytes the bytes kernel workers staged into local stores by
+	// double-buffered tile prefetch (a subset of the machine-wide DMA
+	// traffic, attributed to the launching job).
+	KernelLaunches uint64
+	KernelWorkers  uint64
+	KernelDMABytes uint64
 }
 
 // Job is one admitted unit of work on a booted VM: a root thread
@@ -73,6 +81,11 @@ type Job struct {
 	threads []*Thread
 	live    int
 	done    bool
+	// kernels counts the job's in-flight kernel launches (callers parked
+	// at an SPMD barrier). A job with kernels > 0 refuses FreezeJob: the
+	// barrier state — pinned workers mid-chunk, a caller blocked in a
+	// native — is not serializable at a bytecode boundary.
+	kernels int
 	// frozen marks a job serialized off this machine by FreezeJob: it
 	// will never complete here (done stays false), and WaitJob returns
 	// ErrFrozen for it. freezeBarrier asks the executor to park the

@@ -7,6 +7,7 @@ import (
 	"herajvm/internal/classfile"
 	"herajvm/internal/isa"
 	"herajvm/internal/jit"
+	"herajvm/internal/profile"
 	"herajvm/internal/sched"
 )
 
@@ -197,6 +198,13 @@ func (vm *VM) runWhile(stop func() bool) error {
 			t.needEnsure = false
 			vm.ensureTopFrame(core, t)
 		}
+		if t.needStage {
+			// Kernel workers prefetch their body's array tiles through the
+			// MFC before the first quantum; after the acquire-purge above,
+			// so the purge cannot drop the staged tiles.
+			t.needStage = false
+			vm.stageKernelTiles(core, t)
+		}
 		if t.hasPendingThrow {
 			// Continue unwinding an exception that crossed a migration
 			// boundary; the first frame examined is a caller, so its PC
@@ -284,16 +292,71 @@ func (vm *VM) onSteal(task sched.Task, from, to *cell.Core, readyAt cell.Clock) 
 	return vm.rebindTo(t, from, to, readyAt)
 }
 
+// behaviourMinCycles is the observation floor for behaviour-aware task
+// pricing: a thread's innermost profiled method must have accumulated
+// this many cycles before its FP/memory composition is trusted to
+// override the kind's static migration affinity. Below it the shares
+// are dominated by warm-up noise.
+const behaviourMinCycles = 50_000
+
 // taskCost is the scheduler's per-task cost predictor
 // (sched.Options.CostOf): the cycles one queued thread is expected to
-// consume per scheduling round on the core — the scheduling quantum
-// scaled by the kind's migration affinity, so reluctant kinds (the
-// VPU) look proportionally slower to drain to both the drain-time
-// placement estimate and the cross-kind migration gate. Within one
-// kind's pool the affinity cancels and drain ordering reduces to
-// queue depth plus clock skew.
-func (vm *VM) taskCost(_ sched.Task, core *cell.Core) uint64 {
-	return uint64(float64(vm.Cfg.Quantum) * core.Kind.MigrateAffinity())
+// consume per scheduling round on the core. The baseline is the
+// scheduling quantum scaled by the kind's migration affinity, so
+// reluctant kinds (the VPU) look proportionally slower to drain to
+// both the drain-time placement estimate and the cross-kind migration
+// gate; within one kind's pool the affinity cancels and drain ordering
+// reduces to queue depth plus clock skew.
+//
+// On machines with a VPU, a thread whose innermost profiled method has
+// been observed long enough (behaviourMinCycles) is priced by its
+// measured cycle composition instead: the quantum is split into the
+// method's FP, main-memory and remaining shares, and the FP and memory
+// slices are scaled by how much worse this kind's predicted FP/memory
+// cost is than the machine's best (isa FPScore/MemScore, normalized by
+// the boot-time minima). An FP-heavy thread therefore drains cheapest
+// on the VPU — its FP slice scales by 1.0 while an SPE's scales by
+// FPScore(SPE)/FPScore(VPU) — so the migrate gate and drain estimates
+// route it there despite the VPU's reluctant static affinity.
+// Machines without a VPU (the paper's PS3 baseline) keep the plain
+// affinity pricing, which also pins the Figure-4 goldens.
+func (vm *VM) taskCost(task sched.Task, core *cell.Core) uint64 {
+	quantum := float64(vm.Cfg.Quantum)
+	if ctr := vm.observedCounters(task); ctr != nil {
+		fp, memS := ctr.FPShare(), ctr.MemShare()
+		factor := (1 - fp - memS) +
+			fp*(core.Kind.FPScore()/vm.minFPScore) +
+			memS*(core.Kind.MemScore()/vm.minMemScore)
+		return uint64(quantum * factor)
+	}
+	return uint64(quantum * core.Kind.MigrateAffinity())
+}
+
+// observedCounters returns the task's innermost profiled method
+// counters when behaviour-aware pricing applies: the machine has a VPU
+// to route FP work onto, the task is a thread with a profiled frame,
+// and that method has cleared the observation floor. Nil otherwise
+// (including the nil probe tasks the admission estimator passes).
+func (vm *VM) observedCounters(task sched.Task) *profile.MethodCounters {
+	if !vm.Machine.HasKind(isa.VPU) {
+		return nil
+	}
+	t, ok := task.(*Thread)
+	if !ok || t == nil {
+		return nil
+	}
+	ctr := t.hotCounters()
+	if ctr == nil {
+		return nil
+	}
+	var total uint64
+	for _, c := range ctr.Cycles {
+		total += c
+	}
+	if total < behaviourMinCycles {
+		return nil
+	}
+	return ctr
 }
 
 // recompileEstimate is the migrate scheduler's feasibility-and-cost
@@ -310,6 +373,9 @@ func (vm *VM) taskCost(_ sched.Task, core *cell.Core) uint64 {
 // (deduplicated) compile cycles.
 func (vm *VM) recompileEstimate(task sched.Task, to *cell.Core) (uint64, bool) {
 	t := task.(*Thread)
+	if t.pinned {
+		return 0, false // kernel workers never leave their core
+	}
 	if t.hasPendingMigrate || t.hasPendingThrow || t.pendingNative != nil {
 		return 0, false
 	}
@@ -444,6 +510,12 @@ func (vm *VM) finishThread(core *cell.Core, t *Thread) {
 		vm.enqueue(j)
 	}
 	t.joiners = nil
+	if t.kernel != nil {
+		// SPMD barrier: the launch completes (and the blocked caller
+		// wakes) when its last worker retires — even one that trapped, so
+		// a failing kernel cannot wedge the caller.
+		vm.kernelWorkerDone(core, t)
+	}
 }
 
 // migrate moves t to another core kind after the current instruction,

@@ -6,6 +6,7 @@ import (
 	"herajvm/internal/cell"
 	"herajvm/internal/classfile"
 	"herajvm/internal/isa"
+	"herajvm/internal/profile"
 )
 
 // topoConfig returns the small test machine reshaped to a topology.
@@ -121,6 +122,74 @@ func TestPickCoreVPUPoolOnThreeKindTopology(t *testing.T) {
 	spe := vm.Machine.CoreAt(isa.SPE, 0)
 	if vpuCost := vm.taskCost(nil, vm.Machine.CoreAt(isa.VPU, 0)); vpuCost <= vm.taskCost(nil, spe) {
 		t.Errorf("VPU per-task cost %d not above SPE's %d", vpuCost, vm.taskCost(nil, spe))
+	}
+}
+
+// TestBehaviourCostPrefersVPUForFPHeavy pins the behaviour-aware task
+// pricing: once a thread's innermost method has been observed long
+// enough, an FP-dominated cycle composition must price the thread's
+// drain cheaper on a VPU core than on an equally-loaded SPE — even
+// though the VPU's static migration affinity says the opposite — so
+// the migrate gate and drain estimates route FP-heavy work onto the
+// vector pool. Cold threads, memory-heavy threads and VPU-less
+// machines keep the static affinity ordering.
+func TestBehaviourCostPrefersVPUForFPHeavy(t *testing.T) {
+	topo := cell.Topology{
+		{Kind: isa.PPE, Count: 1}, {Kind: isa.SPE, Count: 4}, {Kind: isa.VPU, Count: 2},
+	}
+	vm, err := New(topoConfig(topo), newProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spe := vm.Machine.CoreAt(isa.SPE, 0)
+	vpu := vm.Machine.CoreAt(isa.VPU, 0)
+
+	mkThread := func(name string, fp, mem, other uint64) *Thread {
+		th := vm.newThread(name)
+		ctr := &profile.MethodCounters{}
+		ctr.Cycles[isa.ClassFloat] = fp
+		ctr.Cycles[isa.ClassMainMem] = mem
+		ctr.Cycles[isa.ClassInt] = other
+		th.pushFrame(&Frame{ctr: ctr})
+		return th
+	}
+
+	// FP-heavy and observed: the VPU must undercut the SPE.
+	hot := mkThread("fp-hot", 80_000, 10_000, 10_000)
+	if v, s := vm.taskCost(hot, vpu), vm.taskCost(hot, spe); v >= s {
+		t.Errorf("FP-heavy observed thread: VPU cost %d not below SPE cost %d", v, s)
+	}
+
+	// Same composition but under the observation floor: static affinity
+	// pricing holds, so the reluctant VPU stays the dearer target.
+	cold := mkThread("fp-cold", 8_000, 1_000, 1_000)
+	if v, s := vm.taskCost(cold, vpu), vm.taskCost(cold, spe); v <= s {
+		t.Errorf("cold thread: VPU cost %d not above SPE cost %d (affinity pricing expected)", v, s)
+	}
+
+	// Memory-heavy and observed: the PPE's coherent caches win over
+	// both local-store kinds, and the VPU (worst memory) prices highest.
+	memHot := mkThread("mem-hot", 5_000, 85_000, 10_000)
+	ppe := vm.Machine.CoreAt(isa.PPE, 0)
+	if p, s, v := vm.taskCost(memHot, ppe), vm.taskCost(memHot, spe), vm.taskCost(memHot, vpu); !(p < s && s < v) {
+		t.Errorf("memory-heavy observed thread: want PPE < SPE < VPU, got %d, %d, %d", p, s, v)
+	}
+
+	// No VPU on the machine: behaviour pricing is off entirely, so an
+	// observed FP-heavy thread still prices by affinity (PS3 goldens
+	// depend on this gate).
+	ps3, err := New(topoConfig(cell.PS3Topology(4)), newProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps3hot := ps3.newThread("fp-hot-ps3")
+	ctr := &profile.MethodCounters{}
+	ctr.Cycles[isa.ClassFloat] = 90_000
+	ctr.Cycles[isa.ClassInt] = 10_000
+	ps3hot.pushFrame(&Frame{ctr: ctr})
+	ps3spe := ps3.Machine.CoreAt(isa.SPE, 0)
+	if got, want := ps3.taskCost(ps3hot, ps3spe), ps3.taskCost(nil, ps3spe); got != want {
+		t.Errorf("VPU-less machine: observed thread cost %d differs from affinity cost %d", got, want)
 	}
 }
 

@@ -274,6 +274,13 @@ func (vm *VM) FreezeJob(ctx context.Context, j *Job) (*JobImage, error) {
 	if _, err := encodePolicy(j.policy); err != nil {
 		return nil, err
 	}
+	// An in-flight kernel launch can never park at a safe point: the
+	// caller is blocked inside a native and the pinned workers hold a
+	// half-completed SPMD barrier no other machine could resume. Refuse
+	// rather than wedge or capture a torn barrier.
+	if j.kernels > 0 {
+		return nil, kernelInFlightErr(j)
+	}
 	// An already-cancelled context aborts before any driving, even if
 	// the job happens to sit at a safe point right now.
 	if ctx != nil {
@@ -302,6 +309,17 @@ func (vm *VM) FreezeJob(ctx context.Context, j *Job) (*JobImage, error) {
 		if j.done {
 			return nil, ErrJobDone
 		}
+		// A launch that started while driving toward the safe point makes
+		// the job unfreezable mid-freeze: abort cleanly, parked threads
+		// resume, the kernel runs on here.
+		if j.kernels > 0 {
+			vm.unparkJob(j)
+			return nil, kernelInFlightErr(j)
+		}
+	}
+	if j.kernels > 0 {
+		vm.unparkJob(j)
+		return nil, kernelInFlightErr(j)
 	}
 
 	// Release: write back and invalidate every software data cache, as
@@ -321,6 +339,13 @@ func (vm *VM) FreezeJob(ctx context.Context, j *Job) (*JobImage, error) {
 	}
 	vm.detachJob(j, monObjs)
 	return img, nil
+}
+
+// kernelInFlightErr is the ErrNotFreezable report for a job holding an
+// incomplete SPMD barrier.
+func kernelInFlightErr(j *Job) error {
+	return fmt.Errorf("vm: job %d (%s) has a data-parallel kernel in flight: %w",
+		j.ID, j.Name, ErrNotFreezable)
 }
 
 // unparkJob aborts an in-progress freeze: threads the executor parked

@@ -135,6 +135,29 @@ func Stdlib(p *classfile.Program) {
 		classfile.Int, classfile.Int)
 	m.NewMethod("minI", classfile.FlagStatic|classfile.FlagNative, classfile.Int,
 		classfile.Int, classfile.Int)
+
+	// hera/Kernel is the data-parallel kernel body contract: subclasses
+	// override run(from, to) to process the half-open iteration slice
+	// [from, to), reading their input arrays and writing only
+	// worker-private state (the determinism rule the kernel layer's
+	// differential tests pin). The base run is an empty body so a launch
+	// on a body without an override is a no-op, not a trap.
+	kern := p.NewClass("hera/Kernel", nil)
+	kernRun := kern.NewMethod("run", 0, classfile.Void, classfile.Int, classfile.Int)
+	{
+		a := kernRun.Asm()
+		a.RetVoid()
+		a.MustBuild()
+	}
+
+	// hera/Parallel is the guest-visible launch entry point. forRange
+	// splits [from, to) into contiguous chunks, fans them out as SPMD
+	// workers pinned one-per-core on the cheapest capable kind, and
+	// returns when every worker has retired (a join barrier). The VM
+	// intercepts it at invoke time like the other natives.
+	par := p.NewClass("hera/Parallel", nil)
+	par.NewMethod("forRange", classfile.FlagStatic|classfile.FlagNative, classfile.Void,
+		classfile.Int, classfile.Int, classfile.Ref)
 }
 
 // registerBuiltins installs the native implementations backing Stdlib.
@@ -258,6 +281,17 @@ func registerBuiltins(vm *VM) {
 			a, b := int32(uint32(c.Args[0])), int32(uint32(c.Args[1]))
 			c.ReturnI(min(a, b))
 			return nil
+		}})
+
+	// The launch cost models packaging the descriptor and ringing each
+	// chosen core's doorbell; per-worker spawn costs (compile, purge,
+	// staging DMA) are charged on the workers themselves. forRange is
+	// void, so blocking the caller at the barrier is safe under the
+	// blocking-native contract (runComputeNative pushes no result).
+	reg("hera/Parallel.forRange", &Native{Kind: NativeCompute, Cycles: 1800, Class: isa.ClassInt,
+		Fn: func(c *NativeCtx) error {
+			return c.VM.launchKernel(c,
+				int32(uint32(c.Args[0])), int32(uint32(c.Args[1])), Ref(c.Args[2]))
 		}})
 }
 

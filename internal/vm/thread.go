@@ -123,6 +123,19 @@ type Thread struct {
 	// resuming (set when a monitor was granted while the thread was
 	// blocked).
 	needPurge bool
+	// needStage requests a double-buffered tile prefetch of the kernel
+	// body's arrays into the data cache before the first quantum (set on
+	// kernel workers landing on local-store cores; runs after needPurge
+	// so the acquire cannot invalidate the staged tiles).
+	needStage bool
+	// pinned marks a data-parallel kernel worker bound to its core for
+	// life: the scheduler's steal and migrate passes skip it, and the
+	// placement policy's invoke-time decision is bypassed. The SPMD
+	// barrier depends on one worker per core making independent progress.
+	pinned bool
+	// kernel links a worker (and its blocked caller) to the launch it
+	// belongs to; nil for ordinary threads.
+	kernel *kernelLaunch
 	// pendingMigrate defers a placement decision that could not be acted
 	// on immediately (blocked synchronized call at a migration point).
 	pendingMigrate    isa.CoreKind
@@ -163,6 +176,19 @@ type Thread struct {
 }
 
 func (t *Thread) top() *Frame { return t.Frames[len(t.Frames)-1] }
+
+// hotCounters returns the profile counters of the thread's innermost
+// profiled frame (markers and native-suspension frames carry none) —
+// the method whose observed behaviour the behaviour-aware task-cost
+// predictor prices placement by. Nil when no frame is profiled yet.
+func (t *Thread) hotCounters() *profile.MethodCounters {
+	for i := len(t.Frames) - 1; i >= 0; i-- {
+		if c := t.Frames[i].ctr; c != nil {
+			return c
+		}
+	}
+	return nil
+}
 
 func (t *Thread) pushFrame(f *Frame) { t.Frames = append(t.Frames, f) }
 

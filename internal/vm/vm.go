@@ -168,6 +168,11 @@ type VM struct {
 	// the candidate set the placement policies choose from.
 	service      *cell.Core
 	presentKinds []isa.CoreKind
+	// minFPScore/minMemScore are the cheapest FP and memory scores over
+	// presentKinds: the normalizers the behaviour-aware task-cost
+	// predictor prices each kind against (taskCost).
+	minFPScore  float64
+	minMemScore float64
 
 	compilers map[isa.CoreKind]*jit.Compiler
 	// dcaches/ccaches hold each local-store core's software caches,
@@ -188,6 +193,8 @@ type VM struct {
 	threads   []*Thread
 	nextTID   int
 	byJavaObj map[Ref]*Thread
+	// kernelSeq numbers Parallel.forRange launches for worker naming.
+	kernelSeq int
 	scheduler sched.Scheduler
 	liveCount int
 	jobs      []*Job
@@ -366,6 +373,14 @@ func New(cfg Config, prog *classfile.Program) (*VM, error) {
 			vm.presentKinds = append(vm.presentKinds, k)
 		}
 	}
+	for i, k := range vm.presentKinds {
+		if fp := k.FPScore(); i == 0 || fp < vm.minFPScore {
+			vm.minFPScore = fp
+		}
+		if ms := k.MemScore(); i == 0 || ms < vm.minMemScore {
+			vm.minMemScore = ms
+		}
+	}
 	for _, c := range vm.cores {
 		if c.Kind.HostsServices() {
 			vm.service = c
@@ -417,6 +432,7 @@ func New(cfg Config, prog *classfile.Program) (*VM, error) {
 		OnMigrate:     vm.onMigrate,
 		CostOf:        vm.taskCost,
 		RecompileCost: vm.recompileEstimate,
+		Pinned:        func(task sched.Task) bool { return task.(*Thread).pinned },
 	})
 	if err != nil {
 		return nil, err

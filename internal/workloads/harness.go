@@ -56,12 +56,18 @@ func All() []Spec {
 	return []Spec{Compress(), MPEGAudio(), Mandelbrot()}
 }
 
-// ByName finds a workload.
+// ByName finds a workload. Kernel workload names (matmul, nbody,
+// kmeans) resolve to their Parallel.forRange variant, so serve traces
+// and cluster mixes can interleave data-parallel kernel jobs with the
+// paper workloads.
 func ByName(name string) (Spec, error) {
 	for _, s := range All() {
 		if s.Name == name {
 			return s, nil
 		}
+	}
+	if k, err := KernelByName(name); err == nil {
+		return k.AsSpec(true), nil
 	}
 	return Spec{}, fmt.Errorf("workloads: unknown workload %q", name)
 }

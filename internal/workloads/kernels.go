@@ -1,0 +1,195 @@
+package workloads
+
+import (
+	"fmt"
+
+	"herajvm/internal/classfile"
+)
+
+// KernelSpec describes a data-parallel showcase workload built in two
+// variants around one shared hera/Kernel body: a kernel entry that fans
+// the iteration space out through hera/Parallel.forRange, and a scalar
+// entry that calls body.run(0, n) sequentially on the calling thread.
+// Both variants read the same deterministically-filled inputs and fold
+// per-iteration terms into one synchronized wrapping-int accumulator,
+// so the checksum is invariant under any chunk split the launch planner
+// picks — the differential tests demand byte-identical totals from the
+// two variants and from the pure-Go reference.
+type KernelSpec struct {
+	// Name is the workload name ("matmul", "nbody", "kmeans").
+	Name string
+	// KernelClass.main launches the body via Parallel.forRange;
+	// ScalarClass.main runs the identical body sequentially. Both
+	// return the accumulated checksum.
+	KernelClass string
+	ScalarClass string
+	// Build constructs a fresh program holding both entries; BuildInto
+	// adds an isolated, class-name-prefixed copy to an existing
+	// stdlib-equipped program (the job-mix form).
+	Build     func(scale int) (*classfile.Program, error)
+	BuildInto func(p *classfile.Program, prefix string, scale int) error
+	// Reference computes the expected checksum in pure Go, mirroring
+	// the bytecode's float64 operation order exactly.
+	Reference func(scale int) int32
+	// DefaultScale is the scale the experiment harness uses.
+	DefaultScale int
+}
+
+// Kernels returns the data-parallel showcase workloads (the TornadoVM
+// demo set: matrix multiply, NBody, KMeans).
+func Kernels() []KernelSpec {
+	return []KernelSpec{Matmul(), NBody(), KMeans()}
+}
+
+// KernelByName finds a kernel workload.
+func KernelByName(name string) (KernelSpec, error) {
+	for _, k := range Kernels() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return KernelSpec{}, fmt.Errorf("workloads: unknown kernel workload %q", name)
+}
+
+// AsSpec adapts one variant of the kernel workload to the ordinary Spec
+// shape so it can ride the job-mix machinery (BuildMix, the serve
+// driver) beside the paper workloads. The thread-count parameter of the
+// Spec contract is ignored: the kernel variant's parallelism comes from
+// the launch planner, and the scalar variant is sequential by design.
+func (k KernelSpec) AsSpec(kernel bool) Spec {
+	main := k.ScalarClass
+	if kernel {
+		main = k.KernelClass
+	}
+	return Spec{
+		Name:         k.Name,
+		MainClass:    main,
+		DefaultScale: k.DefaultScale,
+		Build: func(threads, scale int) (*classfile.Program, error) {
+			return k.Build(scale)
+		},
+		BuildInto: func(p *classfile.Program, prefix string, threads, scale int) error {
+			return k.BuildInto(p, prefix, scale)
+		},
+		Reference: func(threads, scale int) int32 {
+			return k.Reference(scale)
+		},
+	}
+}
+
+// kernelHarness is the shared scaffolding for one kernel workload copy:
+// the synchronized checksum accumulator and the body class (extending
+// hera/Kernel) whose run(from, to) the workload fills in.
+type kernelHarness struct {
+	p     *classfile.Program
+	body  *classfile.Class
+	run   *classfile.Method
+	total *classfile.Field
+	add   *classfile.Method
+}
+
+// newKernelHarnessIn creates the accumulator and body classes under a
+// prefix (separate statics per copy, like newHarnessIn). The body's
+// run(from, to) must follow the hera/Kernel determinism contract: read
+// the body's input arrays, write only worker-private state, and publish
+// results through the commutative accumulator — never through shared
+// array stores, whose dirty write-back blocks could collide across
+// workers.
+func newKernelHarnessIn(p *classfile.Program, prefix, bodyName string) *kernelHarness {
+	kern := p.Lookup("hera/Kernel")
+
+	acc := p.NewClass(prefix+bodyName+"Acc", nil)
+	total := acc.NewStaticField("total", classfile.Int)
+	add := acc.NewMethod("add", classfile.FlagStatic|classfile.FlagSynchronized,
+		classfile.Void, classfile.Int)
+	{
+		a := add.Asm()
+		a.GetStatic(total)
+		a.LoadI(0)
+		a.AddI()
+		a.PutStatic(total)
+		a.RetVoid()
+		a.MustBuild()
+	}
+
+	body := p.NewClass(prefix+bodyName, kern)
+	h := &kernelHarness{p: p, body: body, total: total, add: add}
+	h.run = body.NewMethod("run", 0, classfile.Void, classfile.Int, classfile.Int)
+	return h
+}
+
+// buildEntries emits the two entry classes around the shared body. Both
+// run emitSetup — which must leave the constructed body object in local
+// 0 and may use locals 1+ as scratch — then either launch the kernel or
+// call run(0, n) inline, and return the accumulated total.
+func (h *kernelHarness) buildEntries(kernelClass, scalarClass string, n int32,
+	emitSetup func(a *classfile.Asm)) {
+	parallel := h.p.Lookup("hera/Parallel")
+	build := func(name string, kernel bool) {
+		cls := h.p.NewClass(name, nil)
+		m := cls.NewMethod("main", classfile.FlagStatic, classfile.Int)
+		a := m.Asm()
+		emitSetup(a)
+		if kernel {
+			a.ConstI(0)
+			a.ConstI(n)
+			a.LoadRef(0)
+			a.InvokeStatic(parallel.MethodByName("forRange"))
+		} else {
+			a.LoadRef(0)
+			a.ConstI(0)
+			a.ConstI(n)
+			a.InvokeVirtual(h.run)
+		}
+		a.GetStatic(h.total)
+		a.Ret()
+		a.MustBuild()
+	}
+	build(kernelClass, true)
+	build(scalarClass, false)
+}
+
+// emitFillLinear emits a fill loop over the double array in local la:
+//
+//	for (i = 0; i < n; i++) arr[i] = (double)((i*mul + add) % mod - bias) * scale;
+//
+// using local li as the index. The integer seed keeps the fill exactly
+// reproducible in the Go reference (fillLinear) with no FP accumulation
+// order to mirror.
+func emitFillLinear(a *classfile.Asm, la, li int, n, mul, add, mod, bias int32, scale float64) {
+	loop, done := a.NewLabel(), a.NewLabel()
+	a.ConstI(0)
+	a.StoreI(li)
+	a.Bind(loop)
+	a.LoadI(li)
+	a.ConstI(n)
+	a.IfICmpGE(done)
+	a.LoadRef(la)
+	a.LoadI(li)
+	a.LoadI(li)
+	a.ConstI(mul)
+	a.MulI()
+	a.ConstI(add)
+	a.AddI()
+	a.ConstI(mod)
+	a.RemI()
+	a.ConstI(bias)
+	a.SubI()
+	a.I2D()
+	a.ConstD(scale)
+	a.MulD()
+	a.AStore(classfile.ElemDouble)
+	a.Inc(li, 1)
+	a.Goto(loop)
+	a.Bind(done)
+}
+
+// fillLinear is emitFillLinear's Go mirror (int32 arithmetic, then one
+// conversion and one multiply per element — bit-exact by construction).
+func fillLinear(n, mul, add, mod, bias int32, scale float64) []float64 {
+	v := make([]float64, n)
+	for i := int32(0); i < n; i++ {
+		v[i] = float64((i*mul+add)%mod-bias) * scale
+	}
+	return v
+}
